@@ -1,0 +1,38 @@
+# oblivhm — reproduction of "Oblivious Algorithms for Multicores and
+# Network of Processors" (IPDPS 2010).  Stdlib-only; Go >= 1.22.
+
+GO ?= go
+
+.PHONY: all test bench tables examples vet cover clean
+
+all: vet test
+
+test:
+	$(GO) test ./...
+
+vet:
+	gofmt -l . && $(GO) vet ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's Table I / Table II / ablation measurements
+# (EXPERIMENTS.md records a captured run).
+tables:
+	$(GO) run ./cmd/tables
+
+tables-quick:
+	$(GO) run ./cmd/tables -quick
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/apsp
+	$(GO) run ./examples/signal
+	$(GO) run ./examples/netgraph
+	$(GO) run ./examples/solver
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	rm -f test_output.txt bench_output.txt

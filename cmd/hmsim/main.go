@@ -1,0 +1,55 @@
+// Command hmsim runs a multicore-oblivious algorithm on a simulated HM
+// machine and prints the per-level cache-miss table against the paper's
+// Table II prediction.
+//
+// Usage:
+//
+//	hmsim -algo fft -n 4096 -machine hm4
+//	hmsim -algo gep -n 4096 -machine mc3 -flat   (E13 scheduler ablation)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/harness"
+)
+
+func main() {
+	algo := flag.String("algo", "mt", "algorithm: "+strings.Join(harness.MOAlgos(), "|"))
+	n := flag.Int("n", 4096, "input size (elements; matrices use side=sqrt(n))")
+	machine := flag.String("machine", "hm4", "machine preset: seq|mc3|hm4|hm5")
+	flat := flag.Bool("flat", false, "ablation: flat scheduler ignoring shared-cache levels")
+	steal := flag.Bool("steal", false, "extension: idle cores steal unstarted strands")
+	trace := flag.Bool("trace", false, "print a scheduler trace summary and core timeline")
+	quantum := flag.Int64("quantum", 32, "virtual-time quantum (ops per core per round)")
+	flag.Parse()
+
+	var opts []core.Opt
+	opts = append(opts, core.WithQuantum(*quantum))
+	if *flat {
+		opts = append(opts, core.WithFlatScheduler())
+	}
+	if *steal {
+		opts = append(opts, core.WithStealing())
+	}
+	tr := &core.Trace{}
+	if *trace {
+		opts = append(opts, core.WithTrace(tr))
+	}
+	res, err := harness.RunMO(*algo, *machine, *n, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmsim:", err)
+		os.Exit(1)
+	}
+	fmt.Print(res)
+	if *trace {
+		cfg, _ := harness.Machine(*machine)
+		fmt.Println()
+		fmt.Print(tr.Summary())
+		fmt.Print(tr.Timeline(cfg.Cores(), 72))
+	}
+}

@@ -1,0 +1,333 @@
+// Command tables regenerates the paper's evaluation artifacts:
+//
+//   - Table I: the 𝒟 vs 𝒟* recursion orderings and their measured
+//     communication on M(p,B) (experiment E10);
+//   - Table II: for every problem row, measured per-level HM cache misses
+//     against the MO cache-complexity formula and measured M(p,B)
+//     communication against the NO formula, over size sweeps so the
+//     *shape* (scaling and constants stability) is visible;
+//   - the E13 scheduler ablation (SB vs flat proportionate-slice);
+//   - the E15 D-BSP communication-time sweep for N-GEP.
+//
+// Run with -quick for a fast subset.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/gep"
+	"oblivhm/internal/harness"
+	"oblivhm/internal/hm"
+	"oblivhm/internal/no"
+	"oblivhm/internal/nogep"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sweeps")
+	flag.Parse()
+
+	fmt.Println("==================================================================")
+	fmt.Println("Table I — D vs D* recursion orderings (N-GEP, experiment E10)")
+	fmt.Println("==================================================================")
+	tableI(*quick)
+
+	fmt.Println()
+	fmt.Println("==================================================================")
+	fmt.Println("Table II — MO cache complexity (per-level max misses vs formula)")
+	fmt.Println("==================================================================")
+	tableIIMO(*quick)
+
+	fmt.Println()
+	fmt.Println("==================================================================")
+	fmt.Println("Table II — NO communication complexity (vs formula)")
+	fmt.Println("==================================================================")
+	tableIINO(*quick)
+
+	fmt.Println()
+	fmt.Println("==================================================================")
+	fmt.Println("E13 — scheduler ablation: SB hierarchy vs flat proportionate slice")
+	fmt.Println("==================================================================")
+	ablation(*quick)
+
+	fmt.Println()
+	fmt.Println("==================================================================")
+	fmt.Println("E15 — N-GEP on D-BSP: communication time vs block-size vector")
+	fmt.Println("==================================================================")
+	dbspSweep(*quick)
+
+	fmt.Println()
+	fmt.Println("==================================================================")
+	fmt.Println("Ablation — ideal (fully associative) vs 8-way set-associative")
+	fmt.Println("==================================================================")
+	assocAblation(*quick)
+
+	fmt.Println()
+	fmt.Println("==================================================================")
+	fmt.Println("Table II \"Time\" column — virtual steps vs core count")
+	fmt.Println("==================================================================")
+	speedupSweep(*quick)
+}
+
+// speedupSweep measures parallel steps on the 3-level machine as p grows —
+// the Θ(work/p) time column of Table II (optimal while p stays below each
+// row's "max value of p").
+func speedupSweep(quick bool) {
+	rows := []struct {
+		algo string
+		n    int
+	}{
+		{"mt", 1 << 14}, {"scan", 1 << 14}, {"fft", 1 << 12},
+		{"sort", 1 << 12}, {"mm", 1 << 12}, {"lr", 1 << 10},
+	}
+	ps := []int{1, 2, 4, 8}
+	fmt.Printf("%-6s %-8s", "algo", "n")
+	for _, p := range ps {
+		fmt.Printf(" %12s", fmt.Sprintf("steps(p=%d)", p))
+	}
+	fmt.Printf(" %10s\n", "spdup(8)")
+	for _, row := range rows {
+		n := row.n
+		if quick {
+			n /= 4
+		}
+		fmt.Printf("%-6s %-8d", row.algo, n)
+		var s1, s8 int64
+		for _, p := range ps {
+			res, err := harness.RunMOOnConfig(row.algo, hm.MC3(p), n)
+			if err != nil {
+				fmt.Println(" error:", err)
+				break
+			}
+			if p == 1 {
+				s1 = res.Steps
+			}
+			if p == 8 {
+				s8 = res.Steps
+			}
+			fmt.Printf(" %12d", res.Steps)
+		}
+		if s8 > 0 {
+			fmt.Printf(" %10.2f", float64(s1)/float64(s8))
+		}
+		fmt.Println()
+	}
+}
+
+func assocAblation(quick bool) {
+	n := 1 << 12
+	if quick {
+		n = 1 << 10
+	}
+	for _, algo := range []string{"fft", "sort", "mm"} {
+		ideal, err := harness.RunMO(algo, "mc3", n)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		assoc, err := harness.RunMO(algo, "mc3a", n)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("--- %s n=%d: per-level max misses, ideal vs 8-way\n", algo, n)
+		for i := range ideal.Levels {
+			a, b := ideal.Levels[i], assoc.Levels[i]
+			fmt.Printf("  L%d: ideal=%-10d 8way=%-10d 8way/ideal=%.2f\n",
+				a.Level, a.MaxMisses, b.MaxMisses, float64(b.MaxMisses)/float64(maxI64(a.MaxMisses, 1)))
+		}
+	}
+}
+
+func tableI(quick bool) {
+	fmt.Println("Round structure (quadrants read per round of one D/D* call):")
+	fmt.Println("  D  round 1: U11 x2, U21 x2, V11 x2, V12 x2, W11 x4")
+	fmt.Println("  D* round 1: U11, U12, U21, U22, V11, V12, V21, V22, W11 x2, W22 x2")
+	fmt.Println("  (with D*, no U or V quadrant is requested twice in a round)")
+	fmt.Println()
+	m := 32
+	if quick {
+		m = 16
+	}
+	fmt.Printf("%-8s %-6s %-4s %-10s %-10s %-8s\n", "matrix", "p", "B", "comm(D)", "comm(D*)", "D*/D")
+	for _, p := range []int{4, 8, 16} {
+		for _, b := range []int{2, 8} {
+			cd := ngepComm(m, p, b, false)
+			cs := ngepComm(m, p, b, true)
+			fmt.Printf("%-8d %-6d %-4d %-10d %-10d %-8.2f\n", m, p, b, cd, cs, float64(cs)/float64(cd))
+		}
+	}
+}
+
+func ngepComm(m, p, b int, star bool) int64 {
+	pes := m * m / 4
+	w := no.NewWorld(pes, p, b)
+	e := &nogep.Engine{W: w, Spec: gep.Floyd(), UseDStar: star}
+	in := make([]float64, m*m)
+	for i := range in {
+		in[i] = float64(i%17) + 1
+	}
+	e.RunGEP(m, in)
+	return w.Comm()
+}
+
+func tableIIMO(quick bool) {
+	rows := []struct {
+		algo    string
+		formula string
+		sizes   []int
+	}{
+		{"scan", "Θ(n/(q_i·B_i))", []int{1 << 12, 1 << 14, 1 << 16}},
+		{"mt", "Θ(n²/(q_i·B_i))  [n = elements]", []int{1 << 12, 1 << 14, 1 << 16}},
+		{"mm", "Θ(n³/(q_i·B_i·√C_i))", []int{1 << 10, 1 << 12}},
+		{"gep", "Θ(n³/(q_i·B_i·√C_i))", []int{1 << 10, 1 << 12}},
+		{"fft", "Θ((n/(q_i·B_i))·log_{C_i} n)", []int{1 << 12, 1 << 14}},
+		{"sort", "Θ((n/(q_i·B_i))·log_{C_i} n)", []int{1 << 11, 1 << 13}},
+		{"lr", "O((n/(q_i·B_i))·log_{C_i} n + ...)", []int{1 << 10, 1 << 12}},
+		{"spmdv", "O((n/q_i)(1/B_i + 1/C_i^{1/2}))", []int{1 << 12, 1 << 14}},
+		{"cc", "O((N/(q_i·B_i))·log_{C_i} N·log N + ...)", []int{1 << 9, 1 << 11}},
+	}
+	machines := []string{"mc3", "hm4"}
+	if quick {
+		machines = machines[:1]
+	}
+	for _, row := range rows {
+		sizes := row.sizes
+		if quick {
+			sizes = sizes[:1]
+		}
+		fmt.Printf("--- %s: %s\n", row.algo, row.formula)
+		for _, mach := range machines {
+			for _, n := range sizes {
+				res, err := harness.RunMO(row.algo, mach, n)
+				if err != nil {
+					fmt.Println("  error:", err)
+					continue
+				}
+				fmt.Print(indent(res.String()))
+			}
+		}
+	}
+}
+
+func tableIINO(quick bool) {
+	rows := []struct {
+		algo  string
+		sizes []int
+	}{
+		{"mt", []int{1 << 10, 1 << 12}},
+		{"prefix", []int{1 << 10, 1 << 14}},
+		{"fft", []int{1 << 8, 1 << 10}},
+		{"sort", []int{1 << 8, 1 << 10}},
+		{"sort-bitonic", []int{1 << 10}},
+		{"lr", []int{1 << 8, 1 << 10}},
+		{"cc", []int{1 << 8}},
+		{"ngep", []int{1 << 8, 1 << 10}},
+	}
+	for _, row := range rows {
+		sizes := row.sizes
+		if quick {
+			sizes = sizes[:1]
+		}
+		for _, n := range sizes {
+			for _, p := range []int{4, 16} {
+				for _, b := range []int{2, 8} {
+					res, err := harness.RunNO(row.algo, n, p, b)
+					if err != nil {
+						fmt.Println("error:", err)
+						continue
+					}
+					fmt.Println(" ", res)
+				}
+			}
+		}
+	}
+}
+
+func ablation(quick bool) {
+	n := 1 << 12
+	if quick {
+		n = 1 << 10
+	}
+	for _, algo := range []string{"mm", "sort"} {
+		sb, err := harness.RunMO(algo, "hm4", n)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		flat, err := harness.RunMO(algo, "hm4", n, core.WithFlatScheduler())
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("--- %s n=%d on hm4 (higher-level misses: SB vs flat)\n", algo, n)
+		for i := range sb.Levels {
+			f := flat.Levels[i]
+			s := sb.Levels[i]
+			ratio := float64(f.MaxMisses) / float64(maxI64(s.MaxMisses, 1))
+			fmt.Printf("  L%d: SB=%-10d flat=%-10d flat/SB=%.2f\n", s.Level, s.MaxMisses, f.MaxMisses, ratio)
+		}
+	}
+}
+
+func dbspSweep(quick bool) {
+	m := 32
+	if quick {
+		m = 16
+	}
+	pes := m * m / 4
+	fmt.Printf("%-4s %-26s %-12s\n", "p", "B vector (per level)", "D-BSP time")
+	for _, p := range []int{4, 16} {
+		for _, scale := range []int64{1, 4, 16} {
+			w := no.NewWorld(pes, p, 1)
+			e := &nogep.Engine{W: w, Spec: gep.Floyd(), UseDStar: true}
+			in := make([]float64, m*m)
+			for i := range in {
+				in[i] = float64(i%11) + 1
+			}
+			e.RunGEP(m, in)
+			logP := 0
+			for 1<<logP < p {
+				logP++
+			}
+			g := make([]float64, logP)
+			bs := make([]int64, logP)
+			for i := range g {
+				g[i] = float64(int64(1) << uint(logP-i))
+				bs[i] = scale << uint(i/2) // larger blocks deeper in the hierarchy
+			}
+			fmt.Printf("%-4d B0=%-3d (x%d per 2 lvls)      %-12.0f\n", p, scale, 2, w.DBSPTime(g, bs))
+		}
+	}
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "  " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			lines = append(lines, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		lines = append(lines, s[start:])
+	}
+	return lines
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,15 @@
+// Package oblivhm is a Go reproduction of "Oblivious Algorithms for
+// Multicores and Network of Processors" (Chowdhury, Silvestri, Blakeley,
+// Ramachandran; IPDPS 2010): the HM multicore model with hierarchical
+// multi-level caching, a run-time scheduler driven by the paper's CGC, SB
+// and CGC⇒SB hints, the multicore-oblivious algorithms built on it
+// (transposition, scans, FFT, sorting, SpM-DV, the Gaussian Elimination
+// Paradigm, list ranking, Euler tours, connected components), and the
+// network-oblivious counterparts on the M(N)/M(p,B)/D-BSP models
+// (NO-MT, NO-FFT, prefix sums, sorting, NO-LR, N-GEP with the 𝒟*
+// ordering).
+//
+// See README.md for the architecture overview, DESIGN.md for the system
+// inventory and per-experiment index, and EXPERIMENTS.md for measured
+// results against every table and figure of the paper.
+package oblivhm

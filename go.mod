@@ -1,0 +1,3 @@
+module oblivhm
+
+go 1.22

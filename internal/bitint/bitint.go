@@ -1,0 +1,61 @@
+// Package bitint implements the bit-interleaving index map β used by the
+// multicore-oblivious matrix transposition algorithm MO-MT (paper Figure 2).
+//
+// For an n×n matrix with n a power of two, β(i,j) is the row-major position
+// obtained by interleaving the bits of i and j (a Morton / Z-order code):
+// bit b of i lands at position 2b+1 and bit b of j at position 2b.  The
+// paper assumes β and β⁻¹ are constant-time operations; the
+// implementations here use the standard O(1) magic-mask dilation.
+package bitint
+
+// spread inserts a zero bit above every bit of the low 32 bits of x.
+func spread(x uint64) uint64 {
+	x &= 0xffffffff
+	x = (x | x<<16) & 0x0000ffff0000ffff
+	x = (x | x<<8) & 0x00ff00ff00ff00ff
+	x = (x | x<<4) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	return x
+}
+
+// squash is the inverse of spread: it extracts the even-position bits.
+func squash(x uint64) uint64 {
+	x &= 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0f0f0f0f0f0f0f0f
+	x = (x | x>>4) & 0x00ff00ff00ff00ff
+	x = (x | x>>8) & 0x0000ffff0000ffff
+	x = (x | x>>16) & 0x00000000ffffffff
+	return x
+}
+
+// Interleave returns β(i,j): the Morton code with the bits of i at odd
+// positions and the bits of j at even positions.  Both i and j must fit in
+// 32 bits.
+func Interleave(i, j uint64) uint64 { return spread(i)<<1 | spread(j) }
+
+// Deinterleave returns β⁻¹(k): the (i, j) pair whose Morton code is k.
+func Deinterleave(k uint64) (i, j uint64) { return squash(k >> 1), squash(k) }
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// Log2 returns floor(log2(n)) for n >= 1.
+func Log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// CeilPow2 returns the smallest power of two >= n (n >= 1).
+func CeilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

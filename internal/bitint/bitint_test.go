@@ -1,0 +1,100 @@
+package bitint
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaveSmall(t *testing.T) {
+	// i=0b10, j=0b01 → bits: i1 j1 i0 j0 = 1 0 0 1 = 9.
+	if got := Interleave(2, 1); got != 9 {
+		t.Fatalf("Interleave(2,1) = %d, want 9", got)
+	}
+	if got := Interleave(0, 0); got != 0 {
+		t.Fatalf("Interleave(0,0) = %d", got)
+	}
+	if got := Interleave(1, 0); got != 2 {
+		t.Fatalf("Interleave(1,0) = %d, want 2", got)
+	}
+	if got := Interleave(0, 1); got != 1 {
+		t.Fatalf("Interleave(0,1) = %d, want 1", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(i, j uint32) bool {
+		k := Interleave(uint64(i), uint64(j))
+		ri, rj := Deinterleave(k)
+		return ri == uint64(i) && rj == uint64(j)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleaveBijectiveOnSquare(t *testing.T) {
+	const n = 32
+	seen := make(map[uint64]bool)
+	for i := uint64(0); i < n; i++ {
+		for j := uint64(0); j < n; j++ {
+			k := Interleave(i, j)
+			if k >= n*n {
+				t.Fatalf("β(%d,%d) = %d out of range", i, j, k)
+			}
+			if seen[k] {
+				t.Fatalf("β(%d,%d) = %d collides", i, j, k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// TestMortonLocality captures the property MO-MT's analysis rests on: a
+// row-major segment of t consecutive entries maps under β into O(1)
+// sequences each spanning at most O(t^2) positions.
+func TestMortonLocality(t *testing.T) {
+	const n = 1 << 8
+	for _, tlen := range []uint64{4, 16, 64} {
+		for _, start := range []uint64{0, 37, 1000, n*n - tlen} {
+			codes := make([]uint64, 0, tlen)
+			for k := start; k < start+tlen; k++ {
+				i, j := k/n, k%n
+				codes = append(codes, Interleave(i, j))
+			}
+			sortU64(codes)
+			// Greedily group codes into clusters of span <= t^2; the paper's
+			// analysis needs O(1) such clusters.
+			clusters := 1
+			lo := codes[0]
+			for _, c := range codes[1:] {
+				if c-lo > tlen*tlen {
+					clusters++
+					lo = c
+				}
+			}
+			if clusters > 6 {
+				t.Errorf("segment of %d at %d forms %d Morton clusters of span t^2 (> 6)", tlen, start, clusters)
+			}
+		}
+	}
+}
+
+func sortU64(v []uint64) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func TestPow2Helpers(t *testing.T) {
+	if !IsPow2(1) || !IsPow2(64) || IsPow2(0) || IsPow2(48) {
+		t.Fatal("IsPow2 wrong")
+	}
+	if Log2(1) != 0 || Log2(2) != 1 || Log2(1024) != 10 || Log2(1023) != 9 {
+		t.Fatal("Log2 wrong")
+	}
+	if CeilPow2(1) != 1 || CeilPow2(3) != 4 || CeilPow2(64) != 64 {
+		t.Fatal("CeilPow2 wrong")
+	}
+}

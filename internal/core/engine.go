@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+
+	"oblivhm/internal/hm"
+)
+
+// The simulated executor is a cooperative fork-join engine over the virtual
+// cores of an hm.Machine.  Exactly one strand (lightweight task) executes at
+// any real instant — the engine hands a budget of virtual operations to one
+// strand at a time via channels — so the simulation is fully deterministic:
+// cores proceed in lockstep rounds of `quantum` operations, realising the
+// model's "all cores run at the same rate" assumption.  Virtual parallel
+// time is the number of rounds times the quantum.
+
+type yieldKind int
+
+const (
+	yBudget  yieldKind = iota // budget exhausted, still runnable
+	yBlocked                  // parked on a join or a cache queue
+	yDone                     // function returned (or panicked)
+)
+
+type yieldMsg struct {
+	kind     yieldKind
+	panicked any
+}
+
+// strand is one schedulable thread of the computation, pinned to a core.
+type strand struct {
+	core    int
+	anchor  *hm.Cache // cache the strand's task is anchored at
+	fn      func(*Ctx)
+	ctx     *Ctx
+	resume  chan int64
+	yield   chan yieldMsg
+	budget  int64
+	started bool
+	done    bool
+
+	jn       *join      // join to signal on completion
+	reserved *cacheSlot // space reservation to release on completion
+	resSpace int64
+}
+
+// join is a fork-join counter: pending children plus the parked parent.
+type join struct {
+	pending int
+	waiter  *strand
+}
+
+// cacheSlot carries the scheduler state attached to one cache: the space
+// used by currently anchored tasks and the queue Q(λ) of tasks waiting for
+// space (paper §III-B).
+type cacheSlot struct {
+	cache  *hm.Cache
+	used   int64
+	queue  []*pending
+	anchd  int // number of tasks currently anchored here
+	placed int // lifetime count, for the stats/tests
+}
+
+// pending is a task admitted to Q(λ) but not yet running.
+type pending struct {
+	space int64
+	fn    func(*Ctx)
+	jn    *join
+}
+
+type engine struct {
+	s       *Session
+	m       *hm.Machine
+	quantum int64
+	flat    bool // E13 ablation: ignore cache levels above L1 when placing
+	steal   bool // extension: idle cores steal runnable strands (§VII)
+	steals  int64
+	trace   *Trace
+
+	slots   [][]*cacheSlot // mirrors m.ByLevel
+	runq    [][]*strand    // per-core runnable queues
+	load    []int          // per-core count of live assigned strands
+	live    int            // strands not yet done
+	qd      int            // tasks sitting in cache queues
+	clock   int64
+	failure any
+}
+
+func newEngine(s *Session, m *hm.Machine) *engine {
+	e := &engine{s: s, m: m, quantum: 32}
+	e.slots = make([][]*cacheSlot, len(m.ByLevel))
+	for i, level := range m.ByLevel {
+		e.slots[i] = make([]*cacheSlot, len(level))
+		for j, c := range level {
+			e.slots[i][j] = &cacheSlot{cache: c}
+		}
+	}
+	e.runq = make([][]*strand, m.Cores())
+	e.load = make([]int, m.Cores())
+	return e
+}
+
+func (e *engine) slotOf(c *hm.Cache) *cacheSlot { return e.slots[c.Level-1][c.Index] }
+
+// newStrand creates (but does not start) a strand pinned to core.
+func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx)) *strand {
+	st := &strand{
+		core:   core,
+		anchor: anchor,
+		fn:     fn,
+		resume: make(chan int64),
+		yield:  make(chan yieldMsg),
+		jn:     jn,
+	}
+	st.ctx = &Ctx{s: e.s, core: core, anchor: anchor, st: st}
+	e.live++
+	e.load[core]++
+	return st
+}
+
+func (e *engine) enqueue(st *strand) { e.runq[st.core] = append(e.runq[st.core], st) }
+
+func (e *engine) pop(core int) *strand {
+	q := e.runq[core]
+	if len(q) == 0 {
+		return nil
+	}
+	st := q[0]
+	e.runq[core] = q[1:]
+	return st
+}
+
+// run executes root anchored at the smallest cache fitting space.
+func (e *engine) run(space int64, root func(*Ctx)) {
+	e.clock = 0
+	e.failure = nil
+	anchor := e.m.ByLevel[e.m.SmallestFit(space)-1][0]
+	slot := e.slotOf(anchor)
+	st := e.newStrand(anchor.CoreLo, anchor, nil, root)
+	st.reserved = slot
+	st.resSpace = space
+	slot.used += space
+	slot.anchd++
+	slot.placed++
+	e.emit(EvAnchor, st.core, anchor.Level, anchor.Index, space)
+	e.enqueue(st)
+	e.loop()
+}
+
+func (e *engine) loop() {
+	for e.live > 0 {
+		progressed := false
+		for c := range e.runq {
+			budget := e.quantum
+			for budget > 0 {
+				st := e.pop(c)
+				if st == nil && e.steal {
+					st = e.stealFor(c)
+				}
+				if st == nil {
+					break
+				}
+				progressed = true
+				budget = e.runStrand(st, budget)
+			}
+		}
+		e.clock += e.quantum
+		if e.failure != nil {
+			panic(fmt.Sprintf("core: strand panicked: %v", e.failure))
+		}
+		if !progressed {
+			panic(fmt.Sprintf("core: deadlock: %d live strands all blocked, %d queued tasks", e.live, e.qd))
+		}
+	}
+}
+
+// runStrand grants st up to budget operations and handles its yield,
+// returning the unused budget.
+func (e *engine) runStrand(st *strand, budget int64) int64 {
+	if !st.started {
+		st.started = true
+		st.budget = budget
+		go st.main()
+	} else {
+		st.resume <- budget
+	}
+	msg := <-st.yield
+	switch msg.kind {
+	case yBudget:
+		// Exhausted its grant; runnable again next round (front of queue
+		// preserves run-to-completion order within the core).
+		e.runq[st.core] = append([]*strand{st}, e.runq[st.core]...)
+		return 0
+	case yBlocked:
+		return st.budget // leftover
+	case yDone:
+		if msg.panicked != nil && e.failure == nil {
+			e.failure = msg.panicked
+		}
+		e.finish(st)
+		return st.budget
+	}
+	return 0
+}
+
+// finish handles strand completion: join signalling, space release, queue
+// admission.
+func (e *engine) finish(st *strand) {
+	st.done = true
+	e.emit(EvDone, st.core, 0, 0, 0)
+	e.live--
+	e.load[st.core]--
+	if st.reserved != nil {
+		st.reserved.used -= st.resSpace
+		st.reserved.anchd--
+		e.admit(st.reserved)
+	}
+	if st.jn != nil {
+		st.jn.pending--
+		if st.jn.pending == 0 && st.jn.waiter != nil {
+			w := st.jn.waiter
+			st.jn.waiter = nil
+			e.enqueue(w)
+		}
+	}
+}
+
+// admit starts queued tasks at slot while capacity allows (paper: multiple
+// tasks may be anchored simultaneously provided total space <= C_i).
+func (e *engine) admit(slot *cacheSlot) {
+	for len(slot.queue) > 0 {
+		p := slot.queue[0]
+		if slot.used+p.space > slot.cache.Cap*slot.cache.Block && slot.anchd > 0 {
+			return
+		}
+		slot.queue = slot.queue[1:]
+		e.qd--
+		e.startAnchored(slot, p)
+	}
+}
+
+// startAnchored reserves space and creates the strand for task p anchored
+// at slot's cache, on the least-loaded core in its shadow.
+func (e *engine) startAnchored(slot *cacheSlot, p *pending) {
+	slot.used += p.space
+	slot.anchd++
+	slot.placed++
+	core := e.leastLoadedCore(slot.cache)
+	st := e.newStrand(core, slot.cache, p.jn, p.fn)
+	st.reserved = slot
+	st.resSpace = p.space
+	e.emit(EvAnchor, core, slot.cache.Level, slot.cache.Index, p.space)
+	e.enqueue(st)
+}
+
+// placeAnchored either starts task p at slot immediately (if it fits) or
+// queues it in Q(λ).
+func (e *engine) placeAnchored(slot *cacheSlot, p *pending) {
+	capWords := slot.cache.Cap * slot.cache.Block
+	if len(slot.queue) == 0 && (slot.used+p.space <= capWords || slot.anchd == 0) {
+		e.startAnchored(slot, p)
+		return
+	}
+	slot.queue = append(slot.queue, p)
+	e.qd++
+	e.emit(EvQueue, -1, slot.cache.Level, slot.cache.Index, p.space)
+}
+
+// leastLoadedCore picks the core with the fewest live strands in the shadow
+// of cache, lowest index on ties (deterministic).
+func (e *engine) leastLoadedCore(c *hm.Cache) int {
+	best, bestLoad := c.CoreLo, int(^uint(0)>>1)
+	for i := c.CoreLo; i < c.CoreHi; i++ {
+		if e.load[i] < bestLoad {
+			best, bestLoad = i, e.load[i]
+		}
+	}
+	return best
+}
+
+// leastLoadedSlot picks the cache slot with the smallest reserved space
+// among the level-j caches under lambda, lowest index on ties.
+func (e *engine) leastLoadedSlot(lambda *hm.Cache, j int) *cacheSlot {
+	var best *cacheSlot
+	for _, c := range e.m.Under(lambda, j) {
+		s := e.slotOf(c)
+		if best == nil || s.used+int64(len(s.queue)) < best.used+int64(len(best.queue)) {
+			best = s
+		}
+	}
+	return best
+}
+
+// strand goroutine body.
+func (st *strand) main() {
+	defer func() {
+		msg := yieldMsg{kind: yDone}
+		if r := recover(); r != nil {
+			msg.panicked = r
+		}
+		st.yield <- msg
+	}()
+	st.fn(st.ctx)
+}
+
+// charge consumes n operations of the strand's budget, yielding to the
+// engine when the quantum is exhausted.
+func (st *strand) charge(n int64) {
+	st.budget -= n
+	if st.budget <= 0 {
+		st.yield <- yieldMsg{kind: yBudget}
+		st.budget = <-st.resume
+	}
+}
+
+// park blocks the strand until the engine resumes it (join complete).
+func (st *strand) park() {
+	st.yield <- yieldMsg{kind: yBlocked}
+	st.budget = <-st.resume
+}
+
+// PlacedAt returns how many tasks have been anchored at the given cache
+// level so far (CGC chunk strands are anchored at level 1 without a
+// reservation and are not counted).  Used by the scheduler tests and the
+// ablation experiment.
+func (s *Session) PlacedAt(level int) int {
+	if s.eng == nil {
+		return 0
+	}
+	n := 0
+	for _, slot := range s.eng.slots[level-1] {
+		n += slot.placed
+	}
+	return n
+}
+
+// stealFor migrates a runnable strand from the most loaded core to the
+// idle core c (the §VII "enhanced scheduler" extension, enabled by
+// WithStealing).  The victim's newest queued strand is taken — its task
+// has not started, so no execution state is lost.  Only the core changes:
+// the anchor (and with it any space reservation and the shadow used by the
+// strand's own CGC loops) stays put, which keeps the space-bound admission
+// discipline deadlock-free — re-anchoring a reservation-holding task
+// upward could let its own children queue behind its reservation.
+func (e *engine) stealFor(c int) *strand {
+	victim, best := -1, 1 // need at least 2 queued to be worth stealing
+	for v := range e.runq {
+		if len(e.runq[v]) > best {
+			victim, best = v, len(e.runq[v])
+		}
+	}
+	if victim < 0 {
+		return nil
+	}
+	q := e.runq[victim]
+	st := q[len(q)-1]
+	if st.started {
+		// Mid-execution strands keep their core (their stack references the
+		// old ctx); leave the queue untouched.
+		return nil
+	}
+	e.runq[victim] = q[:len(q)-1]
+	e.load[victim]--
+	e.load[c]++
+	st.core = c
+	st.ctx.core = c
+	e.steals++
+	e.emit(EvSteal, c, st.anchor.Level, st.anchor.Index, 0)
+	return st
+}
+
+// Steals reports how many strands were migrated by the stealing extension.
+func (s *Session) Steals() int64 {
+	if s.eng == nil {
+		return 0
+	}
+	return s.eng.steals
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"oblivhm/internal/hm"
+)
+
+func tracedRun(t *testing.T) *Trace {
+	t.Helper()
+	tr := &Trace{}
+	m := hm.MustMachine(hm.HM4(4, 4))
+	s := NewSim(m, WithTrace(tr))
+	n := 1 << 12
+	v := s.NewI64(n)
+	s.Run(int64(2*n), func(c *Ctx) {
+		c.PFor(n, 1, func(cc *Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v.Set(cc, i, 1)
+			}
+		})
+		c.SpawnCGCSB(256, 8, func(cc *Ctx, idx int) { cc.Tick(100) })
+	})
+	return tr
+}
+
+func TestTraceRecordsDecisions(t *testing.T) {
+	tr := tracedRun(t)
+	counts := map[EventKind]int{}
+	for _, e := range tr.Events {
+		counts[e.Kind]++
+	}
+	if counts[EvAnchor] < 9 { // root + 8 CGC⇒SB subtasks
+		t.Errorf("anchors recorded = %d, want >= 9", counts[EvAnchor])
+	}
+	if counts[EvChunk] == 0 {
+		t.Error("no CGC chunk events recorded")
+	}
+	if counts[EvDone] == 0 {
+		t.Error("no completion events recorded")
+	}
+	// Times are monotone non-decreasing (events are appended in engine
+	// order and the clock never goes backwards).
+	last := int64(0)
+	for _, e := range tr.Events {
+		if e.Time < last {
+			t.Fatalf("trace time went backwards: %d after %d", e.Time, last)
+		}
+		last = e.Time
+	}
+}
+
+func TestTraceSummaryAndTimeline(t *testing.T) {
+	tr := tracedRun(t)
+	sum := tr.Summary()
+	for _, frag := range []string{"anchor", "chunk", "done", "anchors at L"} {
+		if !strings.Contains(sum, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, sum)
+		}
+	}
+	tl := tr.Timeline(16, 40)
+	if !strings.Contains(tl, "core  0") || !strings.Contains(tl, "#") {
+		t.Errorf("timeline missing content:\n%s", tl)
+	}
+	tr.Reset()
+	if len(tr.Events) != 0 {
+		t.Error("Reset left events")
+	}
+	if got := tr.Timeline(4, 10); !strings.Contains(got, "empty") {
+		t.Errorf("empty trace timeline = %q", got)
+	}
+}
+
+func TestTraceOffByDefault(t *testing.T) {
+	m := hm.MustMachine(hm.MC3(2))
+	s := NewSim(m)
+	v := s.NewI64(64)
+	s.Run(128, func(c *Ctx) {
+		c.PFor(64, 1, func(cc *Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v.Set(cc, i, 1)
+			}
+		})
+	})
+	// Nothing to assert beyond "does not crash": tracing must be a strict
+	// no-op when not configured.
+}

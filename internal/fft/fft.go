@@ -1,0 +1,199 @@
+// Package fft implements MO-FFT, the multicore-oblivious in-place FFT of
+// paper Figure 3: the cache-oblivious six-step decomposition n = n1·n2
+// (n2 <= n1 <= 2·n2), with the copy/transpose/twiddle steps scheduled under
+// CGC (using MO-MT for the transposes) and the two waves of recursive
+// sub-FFTs scheduled under CGC⇒SB.
+//
+// The DFT convention follows the paper: Y[i] = Σ_j X[j]·ω_n^{-ij} with
+// ω_n = e^{2π√-1/n} (forward transform with negative exponent kernel).
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+
+	"oblivhm/internal/bitint"
+	"oblivhm/internal/core"
+	"oblivhm/internal/transpose"
+)
+
+// SpaceBound returns the declared space bound of MO-FFT on n complex
+// points, in words.  The paper states S(n) = 3n complex elements; this
+// implementation transposes out-of-place through a Morton intermediate,
+// which costs a constant-factor more scratch (3 square buffers of
+// n1² <= 2n elements each, 2 words per element).
+func SpaceBound(n int) int64 { return 12 * int64(n) }
+
+// MOFFT computes the in-place DFT of x; x.N must be a power of two.
+func MOFFT(c *core.Ctx, x core.C128) {
+	n := x.N
+	if !bitint.IsPow2(n) {
+		panic("fft: length must be a power of two")
+	}
+	if n <= 8 {
+		baseDFT(c, x)
+		return
+	}
+	k := bitint.Log2(n)
+	n1 := 1 << ((k + 1) / 2)
+	n2 := 1 << (k / 2)
+	s := c.Session()
+	A := s.NewC128(n1 * n1)
+	B := s.NewC128(n1 * n1)
+	scr := s.NewC128(n1 * n1)
+
+	// Step 3 [CGC]: load X into the n1 x n2 top-left of A.
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			i, j := t/n2, t%n2
+			A.Set(cc, i*n1+j, x.At(cc, t))
+		}
+	})
+	// Step 4 [CGC]: B = Aᵀ (rows of B now hold the columns of X's matrix).
+	transpose.MOMTComplex(c, A, B, n1, scr)
+	// Step 5 [CGC⇒SB]: FFT the n2 rows of length n1.
+	c.SpawnCGCSB(SpaceBound(n1), n2, func(cc *core.Ctx, i int) {
+		MOFFT(cc, B.Slice(i*n1, (i+1)*n1))
+	})
+	// Step 6 [CGC]: twiddle B[j][k1] by ω_n^{-j·k1} over the first n entries.
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			j, k1 := t/n1, t%n1
+			cc.Tick(1)
+			B.Set(cc, t, B.At(cc, t)*twiddle(n, j*k1))
+		}
+	})
+	// Step 7 [CGC]: A = Bᵀ.
+	transpose.MOMTComplex(c, B, A, n1, scr)
+	// Step 8 [CGC⇒SB]: FFT the first n2 entries of each of the n1 rows.
+	c.SpawnCGCSB(SpaceBound(n2), n1, func(cc *core.Ctx, i int) {
+		MOFFT(cc, A.Slice(i*n1, i*n1+n2))
+	})
+	// Step 9 [CGC]: B = Aᵀ; the first n entries of B are Y in order.
+	transpose.MOMTComplex(c, A, B, n1, scr)
+	// Step 10 [CGC]: copy back into X.
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			x.Set(cc, t, B.At(cc, t))
+		}
+	})
+}
+
+// twiddle returns ω_n^{-e} = e^{-2πi·e/n}.
+func twiddle(n, e int) complex128 {
+	th := -2 * math.Pi * float64(e%n) / float64(n)
+	s, c := math.Sincos(th)
+	return complex(c, s)
+}
+
+// baseDFT is the O(n²) direct formula used at the recursion base.
+func baseDFT(c *core.Ctx, x core.C128) {
+	n := x.N
+	buf := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		buf[i] = x.At(c, i)
+	}
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			c.Tick(1)
+			acc += buf[j] * twiddle(n, i*j)
+		}
+		x.Set(c, i, acc)
+	}
+}
+
+// Iterative is the serial iterative radix-2 baseline (bit-reversal
+// permutation followed by log n butterfly passes).  Each pass streams the
+// whole array, so it incurs Θ((n/B)·log(n/B)) misses versus MO-FFT's
+// Θ((n/B)·log_C n) — the gap the E5 experiment measures.
+func Iterative(c *core.Ctx, x core.C128) {
+	n := x.N
+	if !bitint.IsPow2(n) {
+		panic("fft: length must be a power of two")
+	}
+	lg := bitint.Log2(n)
+	// Bit-reversal permutation.
+	for i := 0; i < n; i++ {
+		r := reverseBits(uint64(i), lg)
+		if uint64(i) < r {
+			xi, xr := x.At(c, i), x.At(c, int(r))
+			x.Set(c, i, xr)
+			x.Set(c, int(r), xi)
+		}
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		for start := 0; start < n; start += size {
+			for j := 0; j < half; j++ {
+				c.Tick(1)
+				w := twiddle(size, j)
+				a := x.At(c, start+j)
+				b := x.At(c, start+j+half) * w
+				x.Set(c, start+j, a+b)
+				x.Set(c, start+j+half, a-b)
+			}
+		}
+	}
+}
+
+func reverseBits(x uint64, bits int) uint64 {
+	var r uint64
+	for b := 0; b < bits; b++ {
+		r = r<<1 | (x>>b)&1
+	}
+	return r
+}
+
+// NaiveDFT is the host-side O(n²) oracle used by tests.
+func NaiveDFT(in []complex128) []complex128 {
+	n := len(in)
+	out := make([]complex128, n)
+	for i := 0; i < n; i++ {
+		var acc complex128
+		for j := 0; j < n; j++ {
+			acc += in[j] * cmplx.Exp(complex(0, -2*math.Pi*float64(i*j%n)/float64(n)))
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// Inverse computes the in-place inverse DFT of x (the transform with
+// kernel ω_n^{+ij}, scaled by 1/n), via the conjugation identity
+// IDFT(X) = conj(DFT(conj(X)))/n so the forward machinery (and its cache
+// behaviour) is reused unchanged.
+func Inverse(c *core.Ctx, x core.C128) {
+	n := x.N
+	conj := func() {
+		c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := x.At(cc, i)
+				x.Set(cc, i, complex(real(v), -imag(v)))
+			}
+		})
+	}
+	conj()
+	MOFFT(c, x)
+	inv := 1 / float64(n)
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := x.At(cc, i)
+			x.Set(cc, i, complex(real(v)*inv, -imag(v)*inv))
+		}
+	})
+}
+
+// Convolve computes the circular convolution of a and b into a (both
+// length n, a power of two) with two forward transforms, a pointwise
+// product and one inverse transform.
+func Convolve(c *core.Ctx, a, b core.C128) {
+	MOFFT(c, a)
+	MOFFT(c, b)
+	c.PFor(a.N, 2, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Set(cc, i, a.At(cc, i)*b.At(cc, i))
+		}
+	})
+	Inverse(c, a)
+}

@@ -1,0 +1,213 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/hm"
+)
+
+func maxErr(s *core.Session, got core.C128, want []complex128) float64 {
+	worst := 0.0
+	for i := range want {
+		if e := cmplx.Abs(s.PeekC(got, i) - want[i]); e > worst {
+			worst = e
+		}
+	}
+	return worst
+}
+
+func randInput(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	in := make([]complex128, n)
+	for i := range in {
+		in[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+	}
+	return in
+}
+
+func TestMOFFTMatchesNaiveDFT(t *testing.T) {
+	for _, mode := range []string{"sim", "native"} {
+		t.Run(mode, func(t *testing.T) {
+			for _, n := range []int{2, 4, 8, 16, 32, 64, 256, 1024} {
+				var s *core.Session
+				if mode == "sim" {
+					s = core.NewSim(hm.MustMachine(hm.HM4(4, 4)))
+				} else {
+					s = core.NewNative(4)
+				}
+				in := randInput(n, int64(n))
+				x := s.NewC128(n)
+				for i, v := range in {
+					s.PokeC(x, i, v)
+				}
+				s.Run(SpaceBound(n), func(c *core.Ctx) { MOFFT(c, x) })
+				want := NaiveDFT(in)
+				if e := maxErr(s, x, want); e > 1e-6*float64(n) {
+					t.Fatalf("n=%d: max error %g", n, e)
+				}
+			}
+		})
+	}
+}
+
+func TestIterativeMatchesNaiveDFT(t *testing.T) {
+	s := core.NewNative(1)
+	for _, n := range []int{2, 8, 64, 512} {
+		in := randInput(n, 99)
+		x := s.NewC128(n)
+		for i, v := range in {
+			s.PokeC(x, i, v)
+		}
+		s.Run(SpaceBound(n), func(c *core.Ctx) { Iterative(c, x) })
+		if e := maxErr(s, x, NaiveDFT(in)); e > 1e-6*float64(n) {
+			t.Fatalf("iterative n=%d: max error %g", n, e)
+		}
+	}
+}
+
+func TestFFTOfImpulseIsFlat(t *testing.T) {
+	s := core.NewNative(2)
+	n := 128
+	x := s.NewC128(n)
+	s.PokeC(x, 0, 1)
+	s.Run(SpaceBound(n), func(c *core.Ctx) { MOFFT(c, x) })
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(s.PeekC(x, i)-1) > 1e-9 {
+			t.Fatalf("impulse FFT not flat at %d: %v", i, s.PeekC(x, i))
+		}
+	}
+}
+
+func TestFFTOfConstantIsImpulse(t *testing.T) {
+	s := core.NewNative(2)
+	n := 64
+	x := s.NewC128(n)
+	for i := 0; i < n; i++ {
+		s.PokeC(x, i, 1)
+	}
+	s.Run(SpaceBound(n), func(c *core.Ctx) { MOFFT(c, x) })
+	if cmplx.Abs(s.PeekC(x, 0)-complex(float64(n), 0)) > 1e-9 {
+		t.Fatalf("DC bin = %v, want %d", s.PeekC(x, 0), n)
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(s.PeekC(x, i)) > 1e-9 {
+			t.Fatalf("bin %d = %v, want 0", i, s.PeekC(x, i))
+		}
+	}
+}
+
+// TestParsevalProperty: energy is preserved up to the 1/n normalisation,
+// for random inputs (a numerical invariant of any correct DFT).
+func TestParsevalProperty(t *testing.T) {
+	s := core.NewNative(2)
+	for seed := int64(0); seed < 5; seed++ {
+		n := 256
+		in := randInput(n, seed)
+		var eIn float64
+		for _, v := range in {
+			eIn += real(v)*real(v) + imag(v)*imag(v)
+		}
+		x := s.NewC128(n)
+		for i, v := range in {
+			s.PokeC(x, i, v)
+		}
+		s.Run(SpaceBound(n), func(c *core.Ctx) { MOFFT(c, x) })
+		var eOut float64
+		for i := 0; i < n; i++ {
+			v := s.PeekC(x, i)
+			eOut += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if math.Abs(eOut/float64(n)-eIn) > 1e-6*eIn {
+			t.Fatalf("Parseval violated: in %g out/n %g", eIn, eOut/float64(n))
+		}
+	}
+}
+
+// TestTheorem2MissBound: MO-FFT incurs O((n/(q_i·B_i))·log_{C_i} n) misses
+// per level-i cache.
+func TestTheorem2MissBound(t *testing.T) {
+	cfg := hm.MC3(4)
+	m := hm.MustMachine(cfg)
+	s := core.NewSim(m)
+	n := 1 << 12
+	x := s.NewC128(n)
+	for i, v := range randInput(n, 5) {
+		s.PokeC(x, i, v)
+	}
+	st := s.RunCold(SpaceBound(n), func(c *core.Ctx) { MOFFT(c, x) })
+	words := int64(2 * n)
+	for _, l := range st.Sim.Levels {
+		b := cfg.Levels[l.Level-1].Block
+		ci := cfg.Levels[l.Level-1].Capacity
+		q := int64(cfg.CachesAt(l.Level))
+		logCn := math.Log(float64(words)) / math.Log(float64(ci))
+		if logCn < 1 {
+			logCn = 1
+		}
+		bound := int64(40 * float64(words) / float64(q*b) * logCn)
+		if l.MaxMisses > bound {
+			t.Errorf("L%d max misses = %d > bound %d", l.Level, l.MaxMisses, bound)
+		}
+	}
+}
+
+// TestTheorem2Speedup: parallel steps scale with p for n >> p·B1.
+func TestTheorem2Speedup(t *testing.T) {
+	run := func(p int) int64 {
+		s := core.NewSim(hm.MustMachine(hm.MC3(p)))
+		n := 1 << 10
+		x := s.NewC128(n)
+		for i, v := range randInput(n, 7) {
+			s.PokeC(x, i, v)
+		}
+		return s.RunCold(SpaceBound(n), func(c *core.Ctx) { MOFFT(c, x) }).Steps
+	}
+	if p8, p1 := run(8), run(1); p8*3 > p1 {
+		t.Errorf("8-core FFT %d steps vs 1-core %d: speedup < 3", p8, p1)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	s := core.NewNative(2)
+	n := 256
+	in := randInput(n, 31)
+	x := s.NewC128(n)
+	for i, v := range in {
+		s.PokeC(x, i, v)
+	}
+	s.Run(2*SpaceBound(n), func(c *core.Ctx) {
+		MOFFT(c, x)
+		Inverse(c, x)
+	})
+	for i, v := range in {
+		if cmplx.Abs(s.PeekC(x, i)-v) > 1e-9 {
+			t.Fatalf("round trip lost x[%d]: %v vs %v", i, s.PeekC(x, i), v)
+		}
+	}
+}
+
+func TestConvolve(t *testing.T) {
+	s := core.NewNative(2)
+	n := 16
+	a := s.NewC128(n)
+	b := s.NewC128(n)
+	av := []float64{1, 2, 3}
+	bv := []float64{4, 5}
+	for i, v := range av {
+		s.PokeC(a, i, complex(v, 0))
+	}
+	for i, v := range bv {
+		s.PokeC(b, i, complex(v, 0))
+	}
+	s.Run(4*SpaceBound(n), func(c *core.Ctx) { Convolve(c, a, b) })
+	want := []float64{4, 13, 22, 15, 0, 0}
+	for i, w := range want {
+		if cmplx.Abs(s.PeekC(a, i)-complex(w, 0)) > 1e-9 {
+			t.Fatalf("conv[%d] = %v, want %v", i, s.PeekC(a, i), w)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package gep implements the Gaussian Elimination Paradigm (paper §V): the
+// GEP specification (an update function f and an update set Σ_f), the
+// reference triple-loop evaluator of Figure 5, the cache-oblivious
+// recursive I-GEP (appendix functions 𝒜, ℬ, 𝒞, 𝒟) scheduled with the SB
+// hint per Theorem 5, and the paper's named instances: Floyd–Warshall
+// all-pairs shortest paths, Gaussian elimination / LU decomposition without
+// pivoting, and matrix multiplication.
+package gep
+
+import (
+	"math"
+
+	"oblivhm/internal/core"
+)
+
+// Func is the GEP update function f : S⁴ → S applied as
+// x[i,j] ← f(x[i,j], x[i,k], x[k,j], x[k,k]).
+type Func func(x, u, v, w float64) float64
+
+// Sigma is the update set Σ_f: Has reports membership of ⟨i,j,k⟩ and
+// Intersects reports whether Σ_f meets the cube [i0,i0+m)×[j0,j0+m)×[k0,k0+m)
+// (the emptiness test on line 1 of every I-GEP function).
+type Sigma interface {
+	Has(i, j, k int) bool
+	Intersects(i0, j0, k0, m int) bool
+}
+
+// Spec is one GEP computation.
+type Spec struct {
+	F Func
+	S Sigma
+}
+
+// Full is the complete update set [0,n)³ (Floyd–Warshall, matrix
+// multiplication).
+type Full struct{}
+
+func (Full) Has(i, j, k int) bool              { return true }
+func (Full) Intersects(i0, j0, k0, m int) bool { return true }
+
+// Strict is the update set {⟨i,j,k⟩ : i > k ∧ j > k} (Gaussian elimination
+// without pivoting: step k updates the trailing submatrix).
+type Strict struct{}
+
+func (Strict) Has(i, j, k int) bool { return i > k && j > k }
+
+func (Strict) Intersects(i0, j0, k0, m int) bool {
+	return i0+m-1 > k0 && j0+m-1 > k0
+}
+
+// Floyd returns the Floyd–Warshall instance: f = min(x, u+v) over the full
+// update set.  The matrix holds path weights with +Inf for "no edge".
+func Floyd() Spec {
+	return Spec{
+		F: func(x, u, v, w float64) float64 { return math.Min(x, u+v) },
+		S: Full{},
+	}
+}
+
+// Gauss returns Gaussian elimination without pivoting: at step k the
+// trailing submatrix is updated by x ← x − u·v/w.  On termination the upper
+// triangle holds U; L is recoverable as L[i,k] = x[i,k]/x[k,k] (see LU).
+func Gauss() Spec {
+	return Spec{
+		F: func(x, u, v, w float64) float64 { return x - u*v/w },
+		S: Strict{},
+	}
+}
+
+// MulAdd is the matrix-multiplication update f = x + u·v (used through
+// function 𝒟 with three disjoint matrices).
+func MulAdd() Spec {
+	return Spec{
+		F: func(x, u, v, w float64) float64 { return x + u*v },
+		S: Full{},
+	}
+}
+
+// Reference runs the triple loop of Figure 5: the definitional semantics of
+// a GEP computation, used as the correctness oracle and as the unblocked
+// baseline in the E4 experiment.
+func Reference(c *core.Ctx, x core.Mat, g Spec) {
+	n := x.Rows
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if g.S.Has(i, j, k) {
+					c.Tick(1)
+					x.Set(c, i, j, g.F(x.At(c, i, j), x.At(c, i, k), x.At(c, k, j), x.At(c, k, k)))
+				}
+			}
+		}
+	}
+}
+
+// Commutative samples the paper's §V-B commutativity condition
+// f(f(y,u1,v1,w1),u2,v2,w2) = f(f(y,u2,v2,w2),u1,v1,w1) on a grid of
+// arguments, returning false on the first violation found.  All the named
+// instances above are commutative.
+func Commutative(f Func) bool {
+	vals := []float64{-2, -0.5, 0, 1, 3, 7.5}
+	for _, y := range vals {
+		for _, u1 := range vals {
+			for _, v1 := range vals {
+				for _, u2 := range vals {
+					for _, v2 := range vals {
+						w1, w2 := u1+1.25, v2+2.5 // avoid zero pivots
+						a := f(f(y, u1, v1, w1), u2, v2, w2)
+						b := f(f(y, u2, v2, w2), u1, v1, w1)
+						if diff := math.Abs(a - b); diff > 1e-9*(1+math.Abs(a)) {
+							return false
+						}
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// LU extracts L (unit lower triangular) and U (upper triangular) from the
+// in-place result of running Gauss() on a matrix: U is the upper triangle
+// and L[i,k] = x[i,k]/x[k,k] for i > k.
+func LU(s *core.Session, x core.Mat) (l, u core.Mat) {
+	n := x.Rows
+	l = s.NewMat(n, n)
+	u = s.NewMat(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := s.PeekM(x, i, j)
+			switch {
+			case i == j:
+				s.PokeM(l, i, j, 1)
+				s.PokeM(u, i, j, v)
+			case i < j:
+				s.PokeM(u, i, j, v)
+			default:
+				s.PokeM(l, i, j, v/s.PeekM(x, j, j))
+			}
+		}
+	}
+	return l, u
+}

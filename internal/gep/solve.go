@@ -1,0 +1,69 @@
+package gep
+
+import "oblivhm/internal/core"
+
+// Solvers built on the Gaussian-elimination GEP instance: after IGEP with
+// Gauss() the matrix holds U in its upper triangle and L·diag(U) residue
+// below, from which triangular solves recover x with A·x = b.  These make
+// the paper's flagship instance usable as a linear-algebra building block.
+
+// TransitiveClosure returns the GEP instance computing the reflexive
+// transitive closure of a boolean adjacency matrix (entries 0/1):
+// x[i,j] ← max(x[i,j], min(x[i,k], x[k,j])) over the full update set —
+// Floyd–Warshall on the boolean semiring.
+func TransitiveClosure() Spec {
+	return Spec{
+		F: func(x, u, v, w float64) float64 {
+			r := u
+			if v < u {
+				r = v
+			}
+			if r > x {
+				return r
+			}
+			return x
+		},
+		S: Full{},
+	}
+}
+
+// SolveLU solves A·x = b given the in-place Gauss() elimination result
+// (see LU): forward substitution with the implicit unit-lower factor, then
+// back substitution with U.  b is overwritten with x.  Runs as a sequence
+// of CGC loops (one per pivot), matching the elimination's data layout.
+func SolveLU(c *core.Ctx, lu core.Mat, b core.F64) {
+	n := lu.Rows
+	// Forward: y[i] = b[i] − Σ_{k<i} L[i,k]·y[k], L[i,k] = lu[i,k]/lu[k,k].
+	for k := 0; k < n; k++ {
+		yk := b.At(c, k)
+		pivot := lu.At(c, k, k)
+		c.PFor(n-k-1, 1, func(cc *core.Ctx, lo, hi int) {
+			for t := lo; t < hi; t++ {
+				i := k + 1 + t
+				cc.Tick(1)
+				b.Set(cc, i, b.At(cc, i)-lu.At(cc, i, k)/pivot*yk)
+			}
+		})
+	}
+	// Back: x[i] = (y[i] − Σ_{k>i} U[i,k]·x[k]) / U[i,i].
+	for k := n - 1; k >= 0; k-- {
+		xk := b.At(c, k) / lu.At(c, k, k)
+		b.Set(c, k, xk)
+		c.PFor(k, 1, func(cc *core.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				cc.Tick(1)
+				b.Set(cc, i, b.At(cc, i)-lu.At(cc, i, k)*xk)
+			}
+		})
+	}
+}
+
+// Determinant returns det(A) from the Gauss() elimination result: the
+// product of the pivots.
+func Determinant(s *core.Session, lu core.Mat) float64 {
+	det := 1.0
+	for k := 0; k < lu.Rows; k++ {
+		det *= s.PeekM(lu, k, k)
+	}
+	return det
+}

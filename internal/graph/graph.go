@@ -1,0 +1,311 @@
+// Package graph implements the multicore-oblivious graph algorithms of
+// paper §VI: the Euler-tour technique, tree computations (rooting, parent,
+// traversal numbering, vertex depth, subtree size) built on MO-LR, and
+// connected components by hook-and-contract with O(1) sorts and scans per
+// contraction round (the adjacency-list adaptation of Chin–Lam–Chen the
+// paper describes, with the same recursive-contraction structure).
+package graph
+
+import (
+	"oblivhm/internal/core"
+	"oblivhm/internal/listrank"
+	"oblivhm/internal/scan"
+	"oblivhm/internal/spms"
+)
+
+// Arcs are directed edges packed into record keys: Key = u<<32 | v.
+// An undirected graph stores both (u,v) and (v,u).
+
+// Pack encodes an arc.
+func Pack(u, v int) uint64 { return uint64(u)<<32 | uint64(v) }
+
+// Unpack decodes an arc.
+func Unpack(k uint64) (u, v int) { return int(k >> 32), int(k & 0xffffffff) }
+
+// BuildArcs materialises the symmetric arc list of an undirected edge list
+// (host-side construction).
+func BuildArcs(s *core.Session, edges [][2]int) core.Pairs {
+	arcs := s.NewPairs(2 * len(edges))
+	for i, e := range edges {
+		s.PokeP(arcs, 2*i, core.Pair{Key: Pack(e[0], e[1])})
+		s.PokeP(arcs, 2*i+1, core.Pair{Key: Pack(e[1], e[0])})
+	}
+	return arcs
+}
+
+// SpaceBound is the declared space bound for the graph algorithms on n
+// vertices and m arcs, in words.
+func SpaceBound(n, m int) int64 { return 24 * int64(n+m) }
+
+// ---- Euler tour and tree computations ----
+
+// Tree is a rooted tree given by its symmetric arc list (2·(n-1) arcs).
+type Tree struct {
+	N    int
+	Root int
+	Arcs core.Pairs
+}
+
+// TreeStats is the output of TreeOps.
+type TreeStats struct {
+	Parent  core.I64 // Parent[root] = -1
+	Depth   core.I64 // edge distance from the root
+	Pre     core.I64 // preorder number (root = 0)
+	Subsize core.I64 // subtree size (root = n)
+}
+
+// EulerTour builds the Euler tour of the tree as a linked list over the
+// arcs sorted by (src, dst): the successor of arc (u,v) is the arc out of v
+// following (v,u) in v's cyclic adjacency order, and the tour is cut into a
+// list starting at the root's first arc.  Returns the sorted arcs, the
+// tour list, and the rev table (index of each arc's reversal).
+func EulerTour(c *core.Ctx, t Tree) (arcs core.Pairs, tour listrank.List, rev core.I64) {
+	m := t.Arcs.N
+	s := c.Session()
+	arcs = s.NewPairs(m)
+	scan.CopyPairs(c, arcs, t.Arcs)
+	spms.Sort(c, arcs) // by (src, dst)
+
+	// rev[i] = position of (dst_i, src_i): sorting the reversed keys yields
+	// the same key multiset in the same order, so the k-th reversed record
+	// corresponds to position k.
+	r := s.NewPairs(m)
+	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u, v := Unpack(arcs.Key(cc, i))
+			r.Set(cc, i, core.Pair{Key: Pack(v, u), Val: uint64(i)})
+		}
+	})
+	spms.Sort(c, r)
+	rev = s.NewI64(m)
+	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			rev.Set(cc, int(r.At(cc, k).Val), int64(k))
+		}
+	})
+
+	// first[v] = start of v's out-arc group.
+	first := s.NewI64(t.N)
+	scan.FillI64(c, first, -1)
+	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u, _ := Unpack(arcs.Key(cc, i))
+			if i == 0 {
+				first.Set(cc, u, int64(i))
+			} else if pu, _ := Unpack(arcs.Key(cc, i-1)); pu != u {
+				first.Set(cc, u, int64(i))
+			}
+		}
+	})
+
+	head := int(first.At(c, t.Root))
+	tour = listrank.List{N: m, Succ: s.NewI64(m), Pred: s.NewI64(m)}
+	scan.FillI64(c, tour.Pred, -1)
+	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := int(rev.At(cc, i)) // arc (v, u)
+			v, _ := Unpack(arcs.Key(cc, j))
+			nxt := j + 1
+			if nxt >= m {
+				nxt = int(first.At(cc, v))
+			} else if nu, _ := Unpack(arcs.Key(cc, nxt)); nu != v {
+				nxt = int(first.At(cc, v))
+			}
+			if nxt == head {
+				tour.Succ.Set(cc, i, -1) // cut the Euler cycle at the root
+			} else {
+				tour.Succ.Set(cc, i, int64(nxt))
+			}
+		}
+	})
+	c.PFor(m, 1, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if sv := tour.Succ.At(cc, i); sv >= 0 {
+				tour.Pred.Set(cc, int(sv), int64(i))
+			}
+		}
+	})
+	return arcs, tour, rev
+}
+
+// TreeOps computes parent, depth, preorder number and subtree size for
+// every vertex, using the Euler tour + three weighted list rankings.
+func TreeOps(c *core.Ctx, t Tree) TreeStats {
+	s := c.Session()
+	st := TreeStats{
+		Parent:  s.NewI64(t.N),
+		Depth:   s.NewI64(t.N),
+		Pre:     s.NewI64(t.N),
+		Subsize: s.NewI64(t.N),
+	}
+	if t.N == 1 {
+		s.PokeI(st.Parent, 0, -1)
+		s.PokeI(st.Subsize, 0, 1)
+		return st
+	}
+	arcs, tour, rev := EulerTour(c, t)
+	m := arcs.N
+
+	// Unit-weight ranking gives tour positions: pos(a) = m-1-rank(a).
+	pos := s.NewI64(m)
+	listrank.MOLR(c, tour, pos)
+	c.PFor(m, 1, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos.Set(cc, i, int64(m-1)-pos.At(cc, i))
+		}
+	})
+
+	// Down arcs advance into a child; ±1 suffix sums give depth, down-flag
+	// suffix sums give preorder.
+	down := s.NewI64(m)
+	wpm := s.NewI64(m)
+	c.PFor(m, 1, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if pos.At(cc, i) < pos.At(cc, int(rev.At(cc, i))) {
+				down.Set(cc, i, 1)
+				wpm.Set(cc, i, 1)
+			} else {
+				down.Set(cc, i, 0)
+				wpm.Set(cc, i, -1)
+			}
+		}
+	})
+	sufPM := s.NewI64(m)
+	listrank.RankWeighted(c, tour, wpm, sufPM)
+	sufDown := s.NewI64(m)
+	listrank.RankWeighted(c, tour, down, sufDown)
+	totalDown := int64(t.N - 1)
+
+	// Scatter per down arc (u,v): unique per v != root.
+	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			if down.At(cc, i) == 0 {
+				continue
+			}
+			u, v := Unpack(arcs.Key(cc, i))
+			st.Parent.Set(cc, v, int64(u))
+			// prefix-inclusive(a) = total − suffix(a) + w(a); Σ(±1) = 0.
+			st.Depth.Set(cc, v, 1-sufPM.At(cc, i))
+			st.Pre.Set(cc, v, totalDown-sufDown.At(cc, i)+1)
+			st.Subsize.Set(cc, v, (pos.At(cc, int(rev.At(cc, i)))-pos.At(cc, i)+1)/2)
+		}
+	})
+	s.PokeI(st.Parent, t.Root, -1)
+	s.PokeI(st.Depth, t.Root, 0)
+	s.PokeI(st.Pre, t.Root, 0)
+	s.PokeI(st.Subsize, t.Root, int64(t.N))
+	return st
+}
+
+// ---- connected components ----
+
+// CC computes connected components of the n-vertex graph with the given
+// symmetric arc list: comp[v] ends up equal for exactly the vertices in the
+// same component.  Each round hooks every vertex to its minimum neighbour,
+// contracts the resulting stars by pointer jumping, relabels and
+// deduplicates the arc list, and repeats until no arcs remain (<= log n
+// rounds, each O(1) sorts and scans).
+func CC(c *core.Ctx, n int, arcs core.Pairs, comp core.I64) {
+	s := c.Session()
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			comp.Set(cc, v, int64(v))
+		}
+	})
+	cur := s.NewPairs(arcs.N)
+	scan.CopyPairs(c, cur, arcs)
+	m := arcs.N
+
+	for round := 0; m > 0 && round < 64; round++ {
+		live := cur.Slice(0, m)
+		spms.Sort(c, live)
+
+		// Hook to the minimum neighbour (first arc of each src group).
+		parent := s.NewI64(n)
+		c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				parent.Set(cc, v, int64(v))
+			}
+		})
+		c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u, v := Unpack(live.Key(cc, i))
+				isFirst := i == 0
+				if !isFirst {
+					pu, _ := Unpack(live.Key(cc, i-1))
+					isFirst = pu != u
+				}
+				if isFirst && v < u {
+					parent.Set(cc, u, int64(v))
+				}
+			}
+		})
+		// Pointer-jump the pseudo-forest to its roots (parent[v] <= v, so
+		// the forest is acyclic and log n rounds suffice).
+		for j := 1; j < 2*n; j *= 2 {
+			p2 := s.NewI64(n)
+			c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+				for v := lo; v < hi; v++ {
+					p2.Set(cc, v, parent.At(cc, int(parent.At(cc, v))))
+				}
+			})
+			parent = p2
+		}
+
+		// Compose the round's contraction into the global labels.
+		c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				comp.Set(cc, v, parent.At(cc, int(comp.At(cc, v))))
+			}
+		})
+
+		// Relabel arcs, drop self-loops, deduplicate.
+		relab := s.NewPairs(m)
+		c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				u, v := Unpack(live.Key(cc, i))
+				relab.Set(cc, i, core.Pair{Key: Pack(int(parent.At(cc, u)), int(parent.At(cc, v)))})
+			}
+		})
+		spms.Sort(c, relab)
+		next := s.NewPairs(m)
+		m = scan.PackPairsIndexed(c, next, relab, func(cc *core.Ctx, i int, p core.Pair) bool {
+			u, v := Unpack(p.Key)
+			if u == v {
+				return false
+			}
+			return i == 0 || relab.Key(cc, i-1) != p.Key
+		})
+		cur = next
+	}
+}
+
+// SerialCC is the host-side union-find oracle used in tests and examples.
+func SerialCC(n int, edges [][2]int) []int {
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		a, b := find(e[0]), find(e[1])
+		if a != b {
+			if a > b {
+				a, b = b, a
+			}
+			parent[b] = a
+		}
+	}
+	out := make([]int, n)
+	for v := range out {
+		out[v] = find(v)
+	}
+	return out
+}

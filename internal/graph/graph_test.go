@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/hm"
+)
+
+// hostTree builds a random tree on n vertices (edge i+1 -> random earlier
+// vertex) and returns its edges plus reference parent/depth/subtree arrays
+// computed serially with the given root.
+func hostTree(n int, seed int64) (edges [][2]int, children [][]int) {
+	rng := rand.New(rand.NewSource(seed))
+	children = make([][]int, n)
+	for v := 1; v < n; v++ {
+		p := rng.Intn(v)
+		edges = append(edges, [2]int{p, v})
+		children[p] = append(children[p], v)
+	}
+	return edges, children
+}
+
+func refTreeStats(n, root int, children [][]int) (parent, depth, size []int) {
+	parent = make([]int, n)
+	depth = make([]int, n)
+	size = make([]int, n)
+	parent[root] = -1
+	var dfs func(v int)
+	dfs = func(v int) {
+		size[v] = 1
+		for _, w := range children[v] {
+			parent[w] = v
+			depth[w] = depth[v] + 1
+			dfs(w)
+			size[v] += size[w]
+		}
+	}
+	dfs(root)
+	return parent, depth, size
+}
+
+func TestTreeOpsAgainstDFS(t *testing.T) {
+	for _, mode := range []string{"sim", "native"} {
+		t.Run(mode, func(t *testing.T) {
+			for _, n := range []int{2, 3, 10, 64, 300} {
+				var s *core.Session
+				if mode == "sim" {
+					s = core.NewSim(hm.MustMachine(hm.HM4(4, 4)))
+				} else {
+					s = core.NewNative(4)
+				}
+				edges, children := hostTree(n, int64(n))
+				wantP, wantD, wantS := refTreeStats(n, 0, children)
+				tr := Tree{N: n, Root: 0, Arcs: BuildArcs(s, edges)}
+				var st TreeStats
+				s.Run(SpaceBound(n, 2*len(edges)), func(c *core.Ctx) { st = TreeOps(c, tr) })
+				for v := 0; v < n; v++ {
+					if got := s.PeekI(st.Parent, v); got != int64(wantP[v]) {
+						t.Fatalf("n=%d parent[%d] = %d, want %d", n, v, got, wantP[v])
+					}
+					if got := s.PeekI(st.Depth, v); got != int64(wantD[v]) {
+						t.Fatalf("n=%d depth[%d] = %d, want %d", n, v, got, wantD[v])
+					}
+					if got := s.PeekI(st.Subsize, v); got != int64(wantS[v]) {
+						t.Fatalf("n=%d subsize[%d] = %d, want %d", n, v, got, wantS[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestTreeOpsPreorder: preorder numbers must be a permutation of 0..n-1
+// with every parent numbered before its children.
+func TestTreeOpsPreorder(t *testing.T) {
+	s := core.NewNative(4)
+	n := 200
+	edges, _ := hostTree(n, 9)
+	tr := Tree{N: n, Root: 0, Arcs: BuildArcs(s, edges)}
+	var st TreeStats
+	s.Run(SpaceBound(n, 4*n), func(c *core.Ctx) { st = TreeOps(c, tr) })
+	seen := make([]bool, n)
+	for v := 0; v < n; v++ {
+		p := int(s.PeekI(st.Pre, v))
+		if p < 0 || p >= n || seen[p] {
+			t.Fatalf("preorder not a permutation at %d (%d)", v, p)
+		}
+		seen[p] = true
+		if par := s.PeekI(st.Parent, v); par >= 0 {
+			if s.PeekI(st.Pre, int(par)) >= int64(p) {
+				t.Fatalf("parent %d numbered after child %d", par, v)
+			}
+		}
+	}
+}
+
+func TestEulerTourIsSingleChain(t *testing.T) {
+	s := core.NewNative(2)
+	n := 50
+	edges, _ := hostTree(n, 4)
+	tr := Tree{N: n, Root: 0, Arcs: BuildArcs(s, edges)}
+	var tour struct {
+		succ core.I64
+		m    int
+	}
+	s.Run(SpaceBound(n, 4*n), func(c *core.Ctx) {
+		_, tl, _ := EulerTour(c, tr)
+		tour.succ = tl.Succ
+		tour.m = tl.N
+	})
+	// Follow successors from the head: must visit all 2(n-1) arcs once.
+	succs := make([]int, tour.m)
+	indeg := make([]int, tour.m)
+	for i := range succs {
+		succs[i] = int(s.PeekI(tour.succ, i))
+		if succs[i] >= 0 {
+			indeg[succs[i]]++
+		}
+	}
+	head := -1
+	for i, d := range indeg {
+		if d == 0 {
+			if head != -1 {
+				t.Fatal("multiple heads")
+			}
+			head = i
+		}
+	}
+	visited := 0
+	for v := head; v >= 0; v = succs[v] {
+		visited++
+		if visited > tour.m {
+			t.Fatal("tour has a cycle")
+		}
+	}
+	if visited != tour.m {
+		t.Fatalf("tour visits %d arcs, want %d", visited, tour.m)
+	}
+}
+
+func randomGraph(n, m int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[[2]int]bool{}
+	var edges [][2]int
+	for len(edges) < m {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if seen[[2]int{u, v}] {
+			continue
+		}
+		seen[[2]int{u, v}] = true
+		edges = append(edges, [2]int{u, v})
+	}
+	return edges
+}
+
+func samePartition(n int, a, b []int) bool {
+	repA := map[int]int{}
+	repB := map[int]int{}
+	for v := 0; v < n; v++ {
+		ra, okA := repA[a[v]]
+		rb, okB := repB[b[v]]
+		switch {
+		case !okA && !okB:
+			repA[a[v]] = v
+			repB[b[v]] = v
+		case okA != okB || ra != rb:
+			return false
+		}
+	}
+	return true
+}
+
+func TestCCAgainstUnionFind(t *testing.T) {
+	for _, mode := range []string{"sim", "native"} {
+		t.Run(mode, func(t *testing.T) {
+			cases := []struct{ n, m int }{{2, 1}, {10, 5}, {100, 60}, {300, 900}, {500, 120}}
+			for _, tc := range cases {
+				var s *core.Session
+				if mode == "sim" {
+					s = core.NewSim(hm.MustMachine(hm.HM4(4, 4)))
+				} else {
+					s = core.NewNative(4)
+				}
+				edges := randomGraph(tc.n, tc.m, int64(tc.n*tc.m))
+				arcs := BuildArcs(s, edges)
+				comp := s.NewI64(tc.n)
+				s.Run(SpaceBound(tc.n, arcs.N), func(c *core.Ctx) { CC(c, tc.n, arcs, comp) })
+				got := make([]int, tc.n)
+				for v := 0; v < tc.n; v++ {
+					got[v] = int(s.PeekI(comp, v))
+				}
+				want := SerialCC(tc.n, edges)
+				if !samePartition(tc.n, got, want) {
+					t.Fatalf("n=%d m=%d: component partition differs", tc.n, tc.m)
+				}
+			}
+		})
+	}
+}
+
+func TestCCNoEdges(t *testing.T) {
+	s := core.NewNative(2)
+	n := 20
+	comp := s.NewI64(n)
+	arcs := s.NewPairs(0)
+	s.Run(SpaceBound(n, 0), func(c *core.Ctx) { CC(c, n, arcs, comp) })
+	for v := 0; v < n; v++ {
+		if s.PeekI(comp, v) != int64(v) {
+			t.Fatalf("isolated vertex %d mislabelled", v)
+		}
+	}
+}
+
+func TestCCForest(t *testing.T) {
+	// Two trees plus isolated vertices — the forest case the paper lists.
+	s := core.NewNative(2)
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {5, 6}, {6, 7}}
+	n := 10
+	arcs := BuildArcs(s, edges)
+	comp := s.NewI64(n)
+	s.Run(SpaceBound(n, arcs.N), func(c *core.Ctx) { CC(c, n, arcs, comp) })
+	got := make([]int, n)
+	for v := 0; v < n; v++ {
+		got[v] = int(s.PeekI(comp, v))
+	}
+	if !samePartition(n, got, SerialCC(n, edges)) {
+		t.Fatal("forest components wrong")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	u, v := Unpack(Pack(123456, 654321))
+	if u != 123456 || v != 654321 {
+		t.Fatalf("pack round trip: %d %d", u, v)
+	}
+}

@@ -1,0 +1,226 @@
+package hm
+
+// Cache is one cache in the hierarchy.  The HM model does not constrain
+// associativity and the cache-oblivious literature assumes ideal (fully
+// associative LRU) caches; that is the default here (Ways = 0).  A positive
+// Ways value makes the cache set-associative with LRU within each set — an
+// extension knob for studying how far the ideal-cache assumption carries
+// (see the associativity tests and the ablation benchmarks).
+//
+// Cache state is a set of resident block ids; block id b at a level with
+// block size B covers word addresses [b*B, (b+1)*B).
+type Cache struct {
+	Level int // 1-based cache level
+	Index int // index among the q_i caches of this level, left to right
+	Block int64
+	Cap   int64 // capacity in blocks
+	Ways  int   // 0 = fully associative; else blocks per set
+
+	parent *Cache // nil at the topmost cache level
+	// CoreLo/CoreHi delimit the contiguous range of cores in this cache's
+	// shadow: cores [CoreLo, CoreHi).
+	CoreLo, CoreHi int
+
+	Stats CacheStats
+
+	// LRU bookkeeping: slot-indexed doubly linked lists (one per set) plus
+	// a block->slot map.  Set s owns slots [s*ways, (s+1)*ways).
+	slots  []slot
+	index  map[int64]int32
+	head   []int32 // per-set most recently used
+	tail   []int32 // per-set least recently used
+	free   []int32 // per-set free-slot list head, chained through next
+	nsets  int64
+	ways   int64
+	inited bool
+}
+
+type slot struct {
+	block      int64
+	prev, next int32
+	dirty      bool
+}
+
+// CacheStats counts block traffic at a single cache.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64 // block transfers into the cache
+	Evictions     int64
+	Writebacks    int64 // dirty block transfers out
+	Invalidations int64 // coherence invalidations received (ping-ponging)
+}
+
+// Transfers returns block transfers into and out of the cache, the quantity
+// the paper's cache complexity bounds.
+func (s CacheStats) Transfers() int64 { return s.Misses + s.Writebacks }
+
+const nilSlot = int32(-1)
+
+func (c *Cache) init() {
+	c.ways = int64(c.Ways)
+	if c.ways <= 0 || c.ways > c.Cap {
+		c.ways = c.Cap
+	}
+	c.nsets = c.Cap / c.ways
+	c.slots = make([]slot, c.Cap)
+	c.index = make(map[int64]int32, c.Cap*2)
+	c.head = make([]int32, c.nsets)
+	c.tail = make([]int32, c.nsets)
+	c.free = make([]int32, c.nsets)
+	for s := int64(0); s < c.nsets; s++ {
+		lo, hi := s*c.ways, (s+1)*c.ways
+		for i := lo; i < hi; i++ {
+			c.slots[i].prev = nilSlot
+			c.slots[i].next = int32(i) + 1
+		}
+		c.slots[hi-1].next = nilSlot
+		c.free[s] = int32(lo)
+		c.head[s], c.tail[s] = nilSlot, nilSlot
+	}
+	c.inited = true
+}
+
+// setOf maps a block id to its set.
+func (c *Cache) setOf(b int64) int64 {
+	if c.nsets <= 1 {
+		return 0
+	}
+	return b % c.nsets
+}
+
+// Contains reports whether block b is resident (no LRU update, no counters).
+func (c *Cache) Contains(b int64) bool {
+	if !c.inited {
+		return false
+	}
+	_, ok := c.index[b]
+	return ok
+}
+
+// touch moves an already-resident slot to its set's MRU position.
+func (c *Cache) touch(set int64, s int32) {
+	if c.head[set] == s {
+		return
+	}
+	sl := &c.slots[s]
+	if sl.prev != nilSlot {
+		c.slots[sl.prev].next = sl.next
+	}
+	if sl.next != nilSlot {
+		c.slots[sl.next].prev = sl.prev
+	}
+	if c.tail[set] == s {
+		c.tail[set] = sl.prev
+	}
+	sl.prev = nilSlot
+	sl.next = c.head[set]
+	if c.head[set] != nilSlot {
+		c.slots[c.head[set]].prev = s
+	}
+	c.head[set] = s
+	if c.tail[set] == nilSlot {
+		c.tail[set] = s
+	}
+}
+
+// access looks up block b, updating LRU order and hit/miss counters.  On a
+// miss the block is installed, evicting its set's LRU block if necessary
+// (counting a writeback if it was dirty).  write marks the block dirty.
+// Returns true on hit.
+func (c *Cache) access(b int64, write bool) bool {
+	if !c.inited {
+		c.init()
+	}
+	if s, ok := c.index[b]; ok {
+		c.Stats.Hits++
+		c.touch(c.setOf(b), s)
+		if write {
+			c.slots[s].dirty = true
+		}
+		return true
+	}
+	c.Stats.Misses++
+	c.install(b, write)
+	return false
+}
+
+// install places block b at its set's MRU position, evicting if full.
+func (c *Cache) install(b int64, dirty bool) {
+	if !c.inited {
+		c.init()
+	}
+	set := c.setOf(b)
+	var s int32
+	if c.free[set] != nilSlot {
+		s = c.free[set]
+		c.free[set] = c.slots[s].next
+	} else {
+		// Evict the set's LRU.
+		s = c.tail[set]
+		victim := &c.slots[s]
+		c.Stats.Evictions++
+		if victim.dirty {
+			c.Stats.Writebacks++
+		}
+		delete(c.index, victim.block)
+		c.tail[set] = victim.prev
+		if c.tail[set] != nilSlot {
+			c.slots[c.tail[set]].next = nilSlot
+		} else {
+			c.head[set] = nilSlot
+		}
+	}
+	c.slots[s] = slot{block: b, prev: nilSlot, next: c.head[set], dirty: dirty}
+	if c.head[set] != nilSlot {
+		c.slots[c.head[set]].prev = s
+	}
+	c.head[set] = s
+	if c.tail[set] == nilSlot {
+		c.tail[set] = s
+	}
+	c.index[b] = s
+}
+
+// invalidate removes block b if resident, counting an invalidation.  A dirty
+// victim counts a writeback (its data must move before another core's copy
+// becomes authoritative).
+func (c *Cache) invalidate(b int64) {
+	if !c.inited {
+		return
+	}
+	s, ok := c.index[b]
+	if !ok {
+		return
+	}
+	set := c.setOf(b)
+	c.Stats.Invalidations++
+	sl := &c.slots[s]
+	if sl.dirty {
+		c.Stats.Writebacks++
+	}
+	delete(c.index, b)
+	if sl.prev != nilSlot {
+		c.slots[sl.prev].next = sl.next
+	} else {
+		c.head[set] = sl.next
+	}
+	if sl.next != nilSlot {
+		c.slots[sl.next].prev = sl.prev
+	} else {
+		c.tail[set] = sl.prev
+	}
+	sl.next = c.free[set]
+	sl.prev = nilSlot
+	c.free[set] = s
+}
+
+// Flush empties the cache without counting traffic (used between runs).
+func (c *Cache) Flush() {
+	c.inited = false
+	c.slots = nil
+	c.index = nil
+	c.head, c.tail, c.free = nil, nil, nil
+}
+
+// ResetStats zeroes the traffic counters, keeping contents.
+func (c *Cache) ResetStats() { c.Stats = CacheStats{} }

@@ -1,0 +1,90 @@
+package hm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for name, cfg := range Presets() {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestCoreCounts(t *testing.T) {
+	cases := []struct {
+		cfg   Config
+		cores int
+	}{
+		{Seq(), 1},
+		{MC3(8), 8},
+		{HM4(4, 4), 16},
+		{HM5(2, 4, 4), 32},
+	}
+	for _, c := range cases {
+		if got := c.cfg.Cores(); got != c.cores {
+			t.Errorf("%s: cores = %d, want %d", c.cfg.Name, got, c.cores)
+		}
+	}
+}
+
+func TestCachesAtAndCoresUnder(t *testing.T) {
+	cfg := HM5(2, 4, 4) // 32 cores
+	// q_i = product of arities above level i.
+	wantQ := []int{32, 16, 4, 1}
+	wantPU := []int{1, 2, 8, 32}
+	for i := 1; i <= 4; i++ {
+		if got := cfg.CachesAt(i); got != wantQ[i-1] {
+			t.Errorf("q_%d = %d, want %d", i, got, wantQ[i-1])
+		}
+		if got := cfg.CoresUnder(i); got != wantPU[i-1] {
+			t.Errorf("p'_%d = %d, want %d", i, got, wantPU[i-1])
+		}
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := []struct {
+		name string
+		cfg  Config
+		frag string
+	}{
+		{"no levels", Config{Name: "x"}, "no cache levels"},
+		{"l1 shared", Config{Name: "x", Levels: []LevelSpec{{Capacity: 64, Block: 8, Arity: 2}}}, "p_1 = 1"},
+		{"non pow2", Config{Name: "x", Levels: []LevelSpec{{Capacity: 96, Block: 8, Arity: 1}}}, "powers of two"},
+		{"not tall", Config{Name: "x", Levels: []LevelSpec{{Capacity: 64, Block: 16, Arity: 1}}}, "not tall"},
+		{"shrinking capacity", Config{Name: "x", Levels: []LevelSpec{
+			{Capacity: 1 << 10, Block: 8, Arity: 1},
+			{Capacity: 1 << 9, Block: 8, Arity: 2},
+		}}, "C_i >= p_i*C_{i-1}"},
+		{"shrinking block", Config{Name: "x", Levels: []LevelSpec{
+			{Capacity: 1 << 10, Block: 16, Arity: 1},
+			{Capacity: 1 << 12, Block: 8, Arity: 2},
+		}}, "smaller than"},
+		{"too many cores", Config{Name: "x", Levels: []LevelSpec{
+			{Capacity: 1 << 10, Block: 8, Arity: 1},
+			{Capacity: 1 << 20, Block: 8, Arity: 128},
+		}}, "exceeds"},
+	}
+	for _, b := range bad {
+		err := b.cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted invalid config", b.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), b.frag) {
+			t.Errorf("%s: error %q does not mention %q", b.name, err, b.frag)
+		}
+	}
+}
+
+func TestConfigString(t *testing.T) {
+	s := MC3(4).String()
+	for _, frag := range []string{"mc3", "p=4", "L1:", "L2:"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+package hm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Addr is a word address in the machine's shared memory.
+type Addr int64
+
+// Machine is a concrete HM machine instance: the cache tree, the cores, the
+// shared memory contents, and the bump allocator.  All methods are intended
+// to be called from a single goroutine at a time (the core engine serialises
+// simulated cores), so Machine does no locking.
+type Machine struct {
+	Cfg Config
+
+	// ByLevel[i-1] holds the q_i caches of level i, left to right, so that
+	// cache j at level i covers cores [j*p'_i, (j+1)*p'_i).
+	ByLevel [][]*Cache
+
+	// path[c][i-1] is the level-i cache above core c.
+	path [][]*Cache
+
+	mem  []uint64
+	heap Addr
+
+	// holders[i-1] maps a level-i block id to the bitmask of level-i cache
+	// indices holding it, to make coherence invalidation O(h) per write.
+	holders []map[int64]uint64
+
+	// Steps is advanced by the engine (virtual time); kept here so stats
+	// snapshots carry both time and traffic.
+	Steps int64
+
+	Accesses int64 // total loads+stores issued
+}
+
+// NewMachine validates cfg and builds the cache tree.
+func NewMachine(cfg Config) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m := &Machine{Cfg: cfg}
+	h1 := len(cfg.Levels) // number of cache levels = h-1
+	p := cfg.Cores()
+	m.ByLevel = make([][]*Cache, h1)
+	for i := h1; i >= 1; i-- {
+		spec := cfg.Levels[i-1]
+		q := cfg.CachesAt(i)
+		pu := cfg.CoresUnder(i)
+		level := make([]*Cache, q)
+		for j := 0; j < q; j++ {
+			level[j] = &Cache{
+				Level:  i,
+				Index:  j,
+				Block:  spec.Block,
+				Cap:    spec.Capacity / spec.Block,
+				Ways:   spec.Ways,
+				CoreLo: j * pu,
+				CoreHi: (j + 1) * pu,
+			}
+			if i < h1 {
+				level[j].parent = m.ByLevel[i][j/cfg.Levels[i].Arity]
+			}
+		}
+		m.ByLevel[i-1] = level
+	}
+	m.path = make([][]*Cache, p)
+	for c := 0; c < p; c++ {
+		m.path[c] = make([]*Cache, h1)
+		for i := 1; i <= h1; i++ {
+			m.path[c][i-1] = m.ByLevel[i-1][c/cfg.CoresUnder(i)]
+		}
+	}
+	if cfg.Coherence {
+		m.holders = make([]map[int64]uint64, h1)
+		for i := range m.holders {
+			m.holders[i] = make(map[int64]uint64)
+		}
+	}
+	return m, nil
+}
+
+// MustMachine builds a machine from cfg, panicking on invalid configs.
+// Intended for tests and examples using the stock presets.
+func MustMachine(cfg Config) *Machine {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Cores returns p.
+func (m *Machine) Cores() int { return len(m.path) }
+
+// CacheOf returns the level-i cache above core c.
+func (m *Machine) CacheOf(core, level int) *Cache { return m.path[core][level-1] }
+
+// Top returns the single level-(h-1) cache.
+func (m *Machine) Top() *Cache { return m.ByLevel[len(m.ByLevel)-1][0] }
+
+// Alloc reserves n words, aligned to the level-1 block size so that CGC
+// chunking can respect block boundaries.  The shared memory is arbitrarily
+// large in the model; the simulator grows it on demand.
+func (m *Machine) Alloc(n int64) Addr {
+	b1 := m.Cfg.Levels[0].Block
+	a := (m.heap + Addr(b1) - 1) / Addr(b1) * Addr(b1)
+	m.heap = a + Addr(n)
+	if int64(m.heap) > int64(len(m.mem)) {
+		grown := make([]uint64, int64(m.heap)*2)
+		copy(grown, m.mem)
+		m.mem = grown
+	}
+	return a
+}
+
+// HeapWords returns the current size of the allocated heap in words.
+func (m *Machine) HeapWords() int64 { return int64(m.heap) }
+
+// access walks core's cache path from level 1 upward, stopping at the first
+// hit (or memory), installing the block into every missed level on the path.
+func (m *Machine) access(core int, a Addr, write bool) {
+	m.Accesses++
+	path := m.path[core]
+	hit := len(path) // level index of first hit; len(path) means memory
+	for i, c := range path {
+		if c.access(int64(a)/c.Block, write) {
+			hit = i
+			break
+		}
+		if m.holders != nil {
+			m.holders[i][int64(a)/c.Block] |= 1 << uint(c.Index)
+		}
+	}
+	_ = hit
+	if write && m.holders != nil {
+		m.invalidateOffPath(core, a)
+	}
+}
+
+// invalidateOffPath models ping-ponging: a write by core invalidates every
+// copy of the containing block held by a cache not on core's path.  The
+// model says the hardware support causing ping-ponging is at the size of
+// B_1; caches at higher levels track their own (larger) block ids, so the
+// invalidation clears the enclosing level-i block from off-path level-i
+// caches.
+func (m *Machine) invalidateOffPath(core int, a Addr) {
+	for i, level := range m.ByLevel {
+		b := int64(a) / level[0].Block
+		mask := m.holders[i][b]
+		if mask == 0 {
+			continue
+		}
+		own := uint64(1) << uint(m.path[core][i].Index)
+		rest := mask &^ own
+		for rest != 0 {
+			j := trailingZeros64(rest)
+			rest &^= 1 << uint(j)
+			level[j].invalidate(b)
+		}
+		if mask&own != 0 {
+			m.holders[i][b] = own
+		} else {
+			delete(m.holders[i], b)
+		}
+	}
+}
+
+func trailingZeros64(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Load reads the word at a on behalf of core.
+func (m *Machine) Load(core int, a Addr) uint64 {
+	m.access(core, a, false)
+	return m.mem[a]
+}
+
+// Store writes the word at a on behalf of core.
+func (m *Machine) Store(core int, a Addr, v uint64) {
+	m.access(core, a, true)
+	m.mem[a] = v
+}
+
+// Peek reads without touching caches or counters (for verification).
+func (m *Machine) Peek(a Addr) uint64 { return m.mem[a] }
+
+// Poke writes without touching caches or counters (for initialisation that
+// should not be charged to the measured computation).
+func (m *Machine) Poke(a Addr, v uint64) {
+	if int64(a) >= int64(len(m.mem)) {
+		grown := make([]uint64, (int64(a)+1)*2)
+		copy(grown, m.mem)
+		m.mem = grown
+	}
+	m.mem[a] = v
+}
+
+// PeekF64 / PokeF64 are float64 views of Peek/Poke.
+func (m *Machine) PeekF64(a Addr) float64    { return math.Float64frombits(m.Peek(a)) }
+func (m *Machine) PokeF64(a Addr, v float64) { m.Poke(a, math.Float64bits(v)) }
+
+// ResetStats zeroes every cache counter and the access/step counters;
+// contents and heap are preserved.
+func (m *Machine) ResetStats() {
+	for _, level := range m.ByLevel {
+		for _, c := range level {
+			c.ResetStats()
+		}
+	}
+	m.Steps = 0
+	m.Accesses = 0
+}
+
+// FlushCaches empties every cache (cold restart) and resets stats.
+func (m *Machine) FlushCaches() {
+	for i, level := range m.ByLevel {
+		for _, c := range level {
+			c.Flush()
+		}
+		if m.holders != nil {
+			m.holders[i] = make(map[int64]uint64)
+		}
+	}
+	m.ResetStats()
+}
+
+// LevelStats aggregates the traffic of the q_i caches at one level.
+type LevelStats struct {
+	Level       int
+	Caches      int
+	MaxMisses   int64 // the paper's cache complexity: max over caches at the level
+	TotalMisses int64
+	MaxXfers    int64 // max over caches of transfers in+out
+	TotalXfers  int64
+	Invalid     int64
+}
+
+// Snapshot summarises a run.
+type Snapshot struct {
+	Steps    int64
+	Accesses int64
+	Levels   []LevelStats
+}
+
+// Stats returns the current per-level aggregates.
+func (m *Machine) Stats() Snapshot {
+	s := Snapshot{Steps: m.Steps, Accesses: m.Accesses}
+	for i, level := range m.ByLevel {
+		ls := LevelStats{Level: i + 1, Caches: len(level)}
+		for _, c := range level {
+			ls.TotalMisses += c.Stats.Misses
+			ls.TotalXfers += c.Stats.Transfers()
+			ls.Invalid += c.Stats.Invalidations
+			if c.Stats.Misses > ls.MaxMisses {
+				ls.MaxMisses = c.Stats.Misses
+			}
+			if t := c.Stats.Transfers(); t > ls.MaxXfers {
+				ls.MaxXfers = t
+			}
+		}
+		s.Levels = append(s.Levels, ls)
+	}
+	return s
+}
+
+// String formats the snapshot as an aligned table.
+func (s Snapshot) String() string {
+	out := fmt.Sprintf("steps=%d accesses=%d\n", s.Steps, s.Accesses)
+	out += fmt.Sprintf("%-6s %6s %12s %12s %12s %10s\n", "level", "caches", "maxMiss", "totMiss", "maxXfer", "invalid")
+	for _, l := range s.Levels {
+		out += fmt.Sprintf("L%-5d %6d %12d %12d %12d %10d\n",
+			l.Level, l.Caches, l.MaxMisses, l.TotalMisses, l.MaxXfers, l.Invalid)
+	}
+	return out
+}

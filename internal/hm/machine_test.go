@@ -1,0 +1,203 @@
+package hm
+
+import (
+	"testing"
+)
+
+func TestMachineTreeGeometry(t *testing.T) {
+	m := MustMachine(HM5(2, 4, 4)) // 32 cores
+	if m.Cores() != 32 {
+		t.Fatalf("cores = %d", m.Cores())
+	}
+	if got := len(m.ByLevel); got != 4 {
+		t.Fatalf("cache levels = %d", got)
+	}
+	// Shadows are contiguous and nested.
+	for c := 0; c < m.Cores(); c++ {
+		prevLo, prevHi := c, c+1
+		for lv := 1; lv <= 4; lv++ {
+			ca := m.CacheOf(c, lv)
+			if c < ca.CoreLo || c >= ca.CoreHi {
+				t.Fatalf("core %d outside its L%d shadow [%d,%d)", c, lv, ca.CoreLo, ca.CoreHi)
+			}
+			if ca.CoreLo > prevLo || ca.CoreHi < prevHi {
+				t.Fatalf("L%d shadow not nested", lv)
+			}
+			prevLo, prevHi = ca.CoreLo, ca.CoreHi
+		}
+	}
+	if m.Top().CoreLo != 0 || m.Top().CoreHi != 32 {
+		t.Fatalf("top shadow = [%d,%d)", m.Top().CoreLo, m.Top().CoreHi)
+	}
+}
+
+func TestUnderAndLCA(t *testing.T) {
+	m := MustMachine(HM5(2, 4, 4))
+	l3 := m.CacheOf(0, 3)
+	l2s := m.Under(l3, 2)
+	if len(l2s) != 4 {
+		t.Fatalf("L2s under first L3 = %d, want 4", len(l2s))
+	}
+	l1s := m.Under(l3, 1)
+	if len(l1s) != 8 {
+		t.Fatalf("L1s under first L3 = %d, want 8", len(l1s))
+	}
+	if got := m.Under(l3, 3); len(got) != 1 || got[0] != l3 {
+		t.Fatal("Under at own level should return itself")
+	}
+	if lca := m.LCA(0, 1); lca.Level != 2 {
+		t.Fatalf("LCA(0,1) level = %d, want 2 (share an L2)", lca.Level)
+	}
+	if lca := m.LCA(0, 2); lca.Level != 3 {
+		t.Fatalf("LCA(0,2) level = %d, want 3", lca.Level)
+	}
+	if lca := m.LCA(0, 31); lca.Level != 4 {
+		t.Fatalf("LCA(0,31) level = %d, want 4", lca.Level)
+	}
+}
+
+func TestSmallestFit(t *testing.T) {
+	m := MustMachine(HM4(4, 4)) // C = 2^9, 2^13, 2^18
+	cases := []struct {
+		space int64
+		level int
+	}{{1, 1}, {512, 1}, {513, 2}, {1 << 13, 2}, {1 << 14, 3}, {1 << 30, 3}}
+	for _, c := range cases {
+		if got := m.SmallestFit(c.space); got != c.level {
+			t.Errorf("SmallestFit(%d) = %d, want %d", c.space, got, c.level)
+		}
+	}
+}
+
+func TestAllocAlignedAndGrows(t *testing.T) {
+	m := MustMachine(MC3(2))
+	b1 := m.Cfg.Levels[0].Block
+	a := m.Alloc(10)
+	b := m.Alloc(3)
+	if int64(a)%b1 != 0 || int64(b)%b1 != 0 {
+		t.Fatalf("allocations not B1-aligned: %d %d", a, b)
+	}
+	if b <= a {
+		t.Fatal("allocations overlap")
+	}
+	big := m.Alloc(1 << 20)
+	m.Store(0, big+(1<<20)-1, 7)
+	if m.Peek(big+(1<<20)-1) != 7 {
+		t.Fatal("store to grown memory lost")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	m := MustMachine(MC3(2))
+	a := m.Alloc(16)
+	for i := Addr(0); i < 16; i++ {
+		m.Store(0, a+i, uint64(i*i))
+	}
+	for i := Addr(0); i < 16; i++ {
+		if got := m.Load(1, a+i); got != uint64(i*i) {
+			t.Fatalf("mem[%d] = %d", i, got)
+		}
+	}
+}
+
+// TestScanMissCount checks the fundamental property the whole harness rests
+// on: scanning n contiguous words costs ~n/B_i misses at level i.
+func TestScanMissCount(t *testing.T) {
+	m := MustMachine(MC3(4))
+	n := int64(1 << 12)
+	a := m.Alloc(n)
+	for i := int64(0); i < n; i++ {
+		m.Load(0, a+Addr(i))
+	}
+	st := m.Stats()
+	for _, l := range st.Levels {
+		b := m.Cfg.Levels[l.Level-1].Block
+		want := n / b
+		if l.TotalMisses < want || l.TotalMisses > want+2 {
+			t.Errorf("L%d misses = %d, want ~%d", l.Level, l.TotalMisses, want)
+		}
+	}
+}
+
+// TestReuseHitsInCache checks temporal locality: re-scanning data that fits
+// in L2 but not L1 hits in L2.
+func TestReuseHitsInCache(t *testing.T) {
+	m := MustMachine(MC3(4)) // C1 = 2^10, C2 = 2^16
+	n := int64(1 << 12)      // fits L2, not L1
+	a := m.Alloc(n)
+	for i := int64(0); i < n; i++ {
+		m.Load(0, a+Addr(i))
+	}
+	first := m.Stats()
+	for i := int64(0); i < n; i++ {
+		m.Load(0, a+Addr(i))
+	}
+	second := m.Stats()
+	l2new := second.Levels[1].TotalMisses - first.Levels[1].TotalMisses
+	if l2new != 0 {
+		t.Errorf("second scan took %d L2 misses, want 0", l2new)
+	}
+	l1new := second.Levels[0].TotalMisses - first.Levels[0].TotalMisses
+	if l1new < n/m.Cfg.Levels[0].Block {
+		t.Errorf("second scan should still miss in the small L1 (got %d)", l1new)
+	}
+}
+
+// TestPingPonging checks that interleaved writes to one block by two cores
+// under different L1s cause invalidations (ping-ponging), while
+// block-respecting writes do not.
+func TestPingPonging(t *testing.T) {
+	m := MustMachine(MC3(2))
+	a := m.Alloc(2) // same B1 block
+	for k := 0; k < 100; k++ {
+		m.Store(0, a, uint64(k))
+		m.Store(1, a+1, uint64(k))
+	}
+	st := m.Stats()
+	if st.Levels[0].Invalid < 100 {
+		t.Errorf("interleaved writes: L1 invalidations = %d, want >= 100", st.Levels[0].Invalid)
+	}
+
+	m2 := MustMachine(MC3(2))
+	b1 := m2.Cfg.Levels[0].Block
+	b := m2.Alloc(2 * b1)
+	for k := 0; k < 100; k++ {
+		m2.Store(0, b, uint64(k))
+		m2.Store(1, b+Addr(b1), uint64(k))
+	}
+	if st2 := m2.Stats(); st2.Levels[0].Invalid != 0 {
+		t.Errorf("block-disjoint writes: L1 invalidations = %d, want 0", st2.Levels[0].Invalid)
+	}
+}
+
+func TestResetAndFlush(t *testing.T) {
+	m := MustMachine(MC3(2))
+	a := m.Alloc(64)
+	m.Store(0, a, 1)
+	m.ResetStats()
+	if st := m.Stats(); st.Accesses != 0 || st.Levels[0].TotalMisses != 0 {
+		t.Fatal("ResetStats left counters")
+	}
+	// After ResetStats (not flush) the block is still cached.
+	m.Load(0, a)
+	if st := m.Stats(); st.Levels[0].TotalMisses != 0 {
+		t.Fatal("block was evicted by ResetStats")
+	}
+	m.FlushCaches()
+	m.Load(0, a)
+	if st := m.Stats(); st.Levels[0].TotalMisses != 1 {
+		t.Fatal("FlushCaches did not empty caches")
+	}
+	if m.Peek(a) != 1 {
+		t.Fatal("flush destroyed memory contents")
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	m := MustMachine(MC3(2))
+	a := m.Alloc(8)
+	m.Load(0, a)
+	if s := m.Stats().String(); len(s) == 0 {
+		t.Fatal("empty snapshot string")
+	}
+}

@@ -1,0 +1,301 @@
+// Package integration holds cross-module, cross-executor tests: the same
+// algorithm code must produce bit-identical results on the simulated HM
+// machine and on native goroutines, and the algorithm pipelines the paper
+// composes (sorting inside list ranking inside graph algorithms; FFT over
+// transposes) must agree with independent oracles end to end.
+package integration
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/fft"
+	"oblivhm/internal/gep"
+	"oblivhm/internal/graph"
+	"oblivhm/internal/hm"
+	"oblivhm/internal/listrank"
+	"oblivhm/internal/spmdv"
+	"oblivhm/internal/spms"
+	"oblivhm/internal/transpose"
+)
+
+// both runs fn on a fresh simulated and a fresh native session and hands
+// the sessions to check for comparison.
+func both(t *testing.T, fn func(s *core.Session) []uint64) (sim, nat []uint64) {
+	t.Helper()
+	sim = fn(core.NewSim(hm.MustMachine(hm.HM4(4, 4))))
+	nat = fn(core.NewNative(4))
+	return sim, nat
+}
+
+func wordsEqual(t *testing.T, name string, a, b []uint64) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: lengths differ", name)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s: executors diverge at %d: %x vs %x", name, i, a[i], b[i])
+		}
+	}
+}
+
+// TestExecutorsAgreeBitForBit: sort, transpose, GEP (min-plus — no float
+// reassociation) and list ranking produce identical words under both
+// executors.
+func TestExecutorsAgreeBitForBit(t *testing.T) {
+	t.Run("sort", func(t *testing.T) {
+		n := 3000
+		fn := func(s *core.Session) []uint64 {
+			rng := rand.New(rand.NewSource(9))
+			v := s.NewPairs(n)
+			for i := 0; i < n; i++ {
+				s.PokeP(v, i, core.Pair{Key: rng.Uint64() % 512, Val: uint64(i)})
+			}
+			s.Run(spms.SpaceBound(n), func(c *core.Ctx) { spms.Sort(c, v) })
+			out := make([]uint64, 2*n)
+			for i := 0; i < n; i++ {
+				p := s.PeekP(v, i)
+				out[2*i], out[2*i+1] = p.Key, p.Val
+			}
+			return out
+		}
+		sim, nat := both(t, fn)
+		wordsEqual(t, "sort", sim, nat)
+	})
+
+	t.Run("floyd", func(t *testing.T) {
+		n := 32
+		fn := func(s *core.Session) []uint64 {
+			rng := rand.New(rand.NewSource(11))
+			x := s.NewMat(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s.PokeM(x, i, j, float64(rng.Intn(50)+1))
+				}
+			}
+			s.Run(gep.SpaceBound(n), func(c *core.Ctx) { gep.IGEP(c, x, gep.Floyd()) })
+			out := make([]uint64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					out[i*n+j] = math.Float64bits(s.PeekM(x, i, j))
+				}
+			}
+			return out
+		}
+		sim, nat := both(t, fn)
+		wordsEqual(t, "floyd", sim, nat)
+	})
+
+	t.Run("listrank", func(t *testing.T) {
+		n := 1200
+		fn := func(s *core.Session) []uint64 {
+			perm := rand.New(rand.NewSource(13)).Perm(n)
+			l := listrank.FromPerm(s, perm)
+			rank := s.NewI64(n)
+			s.Run(listrank.SpaceBound(n), func(c *core.Ctx) { listrank.MOLR(c, l, rank) })
+			out := make([]uint64, n)
+			for i := range out {
+				out[i] = uint64(s.PeekI(rank, i))
+			}
+			return out
+		}
+		sim, nat := both(t, fn)
+		wordsEqual(t, "listrank", sim, nat)
+	})
+
+	t.Run("transpose", func(t *testing.T) {
+		n := 64
+		fn := func(s *core.Session) []uint64 {
+			A := s.NewMat(n, n)
+			AT := s.NewMat(n, n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					s.PokeM(A, i, j, float64(i*n+j))
+				}
+			}
+			s.Run(transpose.SpaceBound(n), func(c *core.Ctx) {
+				transpose.MOMT(c, A, AT, core.F64{})
+			})
+			out := make([]uint64, n*n)
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					out[i*n+j] = math.Float64bits(s.PeekM(AT, i, j))
+				}
+			}
+			return out
+		}
+		sim, nat := both(t, fn)
+		wordsEqual(t, "transpose", sim, nat)
+	})
+}
+
+// TestFFTConvolutionPipeline: MO-FFT forward, pointwise multiply, inverse
+// (via conjugation) on the simulated machine reproduces direct convolution.
+func TestFFTConvolutionPipeline(t *testing.T) {
+	s := core.NewSim(hm.MustMachine(hm.MC3(4)))
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7}
+	n := 8
+	fa := s.NewC128(n)
+	fb := s.NewC128(n)
+	for i, v := range a {
+		s.PokeC(fa, i, complex(v, 0))
+	}
+	for i, v := range b {
+		s.PokeC(fb, i, complex(v, 0))
+	}
+	s.Run(2*fft.SpaceBound(n), func(c *core.Ctx) {
+		fft.MOFFT(c, fa)
+		fft.MOFFT(c, fb)
+		c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				fa.Set(cc, i, cmplx.Conj(fa.At(cc, i)*fb.At(cc, i)))
+			}
+		})
+		fft.MOFFT(c, fa)
+	})
+	want := make([]float64, n)
+	for i, x := range a {
+		for j, y := range b {
+			want[i+j] += x * y
+		}
+	}
+	for i := 0; i < n; i++ {
+		got := real(cmplx.Conj(s.PeekC(fa, i))) / float64(n)
+		if math.Abs(got-want[i]) > 1e-9 {
+			t.Fatalf("conv[%d] = %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestTreePipelineOnSim: Euler tour + tree ops (which compose sorting and
+// three list rankings) on the simulated machine against the DFS oracle.
+func TestTreePipelineOnSim(t *testing.T) {
+	s := core.NewSim(hm.MustMachine(hm.HM4(4, 4)))
+	n := 120
+	rng := rand.New(rand.NewSource(21))
+	var edges [][2]int
+	children := make([][]int, n)
+	for v := 1; v < n; v++ {
+		p := rng.Intn(v)
+		edges = append(edges, [2]int{p, v})
+		children[p] = append(children[p], v)
+	}
+	tr := graph.Tree{N: n, Root: 0, Arcs: graph.BuildArcs(s, edges)}
+	var st graph.TreeStats
+	s.Run(graph.SpaceBound(n, 4*n), func(c *core.Ctx) { st = graph.TreeOps(c, tr) })
+
+	depth := make([]int, n)
+	size := make([]int, n)
+	var dfs func(v int) int
+	dfs = func(v int) int {
+		size[v] = 1
+		for _, w := range children[v] {
+			depth[w] = depth[v] + 1
+			size[v] += dfs(w)
+		}
+		return size[v]
+	}
+	dfs(0)
+	for v := 0; v < n; v++ {
+		if got := s.PeekI(st.Depth, v); got != int64(depth[v]) {
+			t.Fatalf("depth[%d] = %d, want %d", v, got, depth[v])
+		}
+		if got := s.PeekI(st.Subsize, v); got != int64(size[v]) {
+			t.Fatalf("size[%d] = %d, want %d", v, got, size[v])
+		}
+	}
+}
+
+// TestSpMDVPowerIteration: repeated MO-SpM-DV drives a power iteration on
+// a grid Laplacian shifted to be positive definite — a realistic solver
+// inner loop composed on the simulated machine.
+func TestSpMDVPowerIteration(t *testing.T) {
+	s := core.NewSim(hm.MustMachine(hm.MC3(4)))
+	side := 16
+	n := side * side
+	// I + small * L is positive with dominant eigenvector ~ constant.
+	var es []spmdv.Entry
+	for _, e := range spmdv.GridEntries(side, spmdv.SeparatorOrderGrid(side)) {
+		v := -0.05 * e.V
+		if e.I == e.J {
+			v += 1
+		}
+		es = append(es, spmdv.Entry{I: e.I, J: e.J, V: v})
+	}
+	a := spmdv.FromEntries(s, n, es)
+	x := s.NewF64(n)
+	y := s.NewF64(n)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		s.PokeF(x, i, rng.Float64())
+	}
+	for it := 0; it < 30; it++ {
+		s.Run(spmdv.SpaceBound(n), func(c *core.Ctx) { spmdv.MOSpMDV(c, a, x, y) })
+		// normalise and swap (host side).
+		norm := 0.0
+		for i := 0; i < n; i++ {
+			norm += s.PeekF(y, i) * s.PeekF(y, i)
+		}
+		norm = math.Sqrt(norm)
+		for i := 0; i < n; i++ {
+			s.PokeF(x, i, s.PeekF(y, i)/norm)
+		}
+	}
+	// Convergence check: x is (near) an eigenvector, i.e. A·x ≈ λ·x with a
+	// small relative residual.
+	s.Run(spmdv.SpaceBound(n), func(c *core.Ctx) { spmdv.MOSpMDV(c, a, x, y) })
+	var num, den float64
+	for i := 0; i < n; i++ {
+		num += s.PeekF(x, i) * s.PeekF(y, i)
+		den += s.PeekF(x, i) * s.PeekF(x, i)
+	}
+	lambda := num / den
+	var resid float64
+	for i := 0; i < n; i++ {
+		d := s.PeekF(y, i) - lambda*s.PeekF(x, i)
+		resid += d * d
+	}
+	if math.Sqrt(resid) > 0.05*math.Abs(lambda) {
+		t.Fatalf("power iteration not converged: residual %v at lambda %v", math.Sqrt(resid), lambda)
+	}
+}
+
+// TestSortInsideGraphPipelineDeterminism: CC (which runs sorting and
+// prefix sums internally) is deterministic across repeated simulated runs.
+func TestSortInsideGraphPipelineDeterminism(t *testing.T) {
+	run := func() (int64, []int64) {
+		s := core.NewSim(hm.MustMachine(hm.HM4(4, 4)))
+		n := 300
+		rng := rand.New(rand.NewSource(33))
+		var edges [][2]int
+		for k := 0; k < 400; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, [2]int{u, v})
+			}
+		}
+		arcs := graph.BuildArcs(s, edges)
+		comp := s.NewI64(n)
+		st := s.RunCold(graph.SpaceBound(n, arcs.N), func(c *core.Ctx) { graph.CC(c, n, arcs, comp) })
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = s.PeekI(comp, i)
+		}
+		return st.Sim.Levels[0].TotalMisses, out
+	}
+	m1, c1 := run()
+	m2, c2 := run()
+	if m1 != m2 {
+		t.Fatalf("misses differ across identical runs: %d vs %d", m1, m2)
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Fatalf("labels differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+// Package listrank implements MO-LR, the multicore-oblivious list-ranking
+// algorithm of paper §VI-A, and MO-IS (Figure 6), its independent-set
+// subroutine:
+//
+//   - colors are computed by applying Cole–Vishkin deterministic coin
+//     flipping to the (temporarily circular) list a constant number of
+//     times, giving O(log log n) colors;
+//   - colors are processed in increasing order; the nodes of a color are
+//     sorted by identifier, duplicate-marked nodes (neighbours of already
+//     selected nodes) are discarded, the rest join the independent set, and
+//     duplicates of their neighbours are pushed into later color groups;
+//   - the independent set (a constant fraction of the list) is spliced out,
+//     accumulating link weights; the contracted list is ranked recursively,
+//     and the solution is extended to the removed nodes.
+//
+// Per contraction level the work is O(1) sorts (package spms, under
+// CGC⇒SB) and O(log log n) scans (package scan, under CGC), as the paper
+// prescribes.
+//
+// Rank semantics: rank(v) = w(v) + rank(succ(v)) with rank past the end
+// being 0; at the top level w(v) = 1 for internal nodes and 0 for the
+// tail, so rank(v) is the distance from v to the end of the list.
+package listrank
+
+import (
+	"oblivhm/internal/core"
+	"oblivhm/internal/scan"
+	"oblivhm/internal/spms"
+)
+
+// List is a doubly linked list embedded in arrays: Succ[v] / Pred[v] are
+// node indices, -1 marks the tail's successor and the head's predecessor.
+type List struct {
+	N          int
+	Succ, Pred core.I64
+}
+
+// SpaceBound is the declared space bound of MO-LR on n nodes, in words.
+func SpaceBound(n int) int64 { return 24 * int64(n) }
+
+// baseSize is the cutoff below which ranking is done by a serial chase.
+const baseSize = 32
+
+// colorRounds is how many times deterministic coin flipping is applied
+// (the paper applies it twice; its footnote 3 allows any constant k >= 2 —
+// three rounds gives <= 13 colors for any feasible n).
+const colorRounds = 3
+
+// colorShift packs (color, id) into one key: colors fit comfortably below
+// 2^20 after the DCF rounds, ids below 2^40.
+const colorShift = 40
+
+// MOLR computes rank[v] = distance (number of links) from v to the end of
+// the list, for every node.
+func MOLR(c *core.Ctx, l List, rank core.I64) {
+	s := c.Session()
+	w := s.NewI64(l.N)
+	c.PFor(l.N, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if l.Succ.At(cc, v) < 0 {
+				w.Set(cc, v, 0)
+			} else {
+				w.Set(cc, v, 1)
+			}
+		}
+	})
+	molr(c, l, w, rank)
+}
+
+func molr(c *core.Ctx, l List, w, rank core.I64) {
+	n := l.N
+	if n <= baseSize {
+		serialRankW(c, l, w, rank)
+		return
+	}
+	s := c.Session()
+
+	inS := s.NewI64(n)
+	MOIS(c, l, inS)
+
+	// Contract: splice out the independent set, accumulating weights.
+	newIdx := s.NewI64(n)
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			newIdx.Set(cc, v, 1-inS.At(cc, v))
+		}
+	})
+	m := int(scan.ExclusiveSumsI64(c, newIdx))
+
+	sub := List{N: m, Succ: s.NewI64(m), Pred: s.NewI64(m)}
+	subW := s.NewI64(m)
+	oldOf := s.NewI64(m)
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if inS.At(cc, v) != 0 {
+				continue
+			}
+			nv := int(newIdx.At(cc, v))
+			oldOf.Set(cc, nv, int64(v))
+			wv := w.At(cc, v)
+			sv := l.Succ.At(cc, v)
+			if sv >= 0 && inS.At(cc, int(sv)) != 0 {
+				// Successor is removed: bridge over it.  Its own successor
+				// is kept (independence), possibly -1 if it was the tail.
+				wv += w.At(cc, int(sv))
+				sv = l.Succ.At(cc, int(sv))
+			}
+			pv := l.Pred.At(cc, v)
+			if pv >= 0 && inS.At(cc, int(pv)) != 0 {
+				pv = l.Pred.At(cc, int(pv))
+			}
+			if sv >= 0 {
+				sv = newIdx.At(cc, int(sv))
+			}
+			if pv >= 0 {
+				pv = newIdx.At(cc, int(pv))
+			}
+			sub.Succ.Set(cc, nv, sv)
+			sub.Pred.Set(cc, nv, pv)
+			subW.Set(cc, nv, wv)
+		}
+	})
+
+	subRank := s.NewI64(m)
+	molr(c, sub, subW, subRank)
+
+	// Extend: kept nodes copy their contracted rank; removed nodes add
+	// their weight to their (kept) successor's rank.
+	c.PFor(m, 1, func(cc *core.Ctx, lo, hi int) {
+		for nv := lo; nv < hi; nv++ {
+			rank.Set(cc, int(oldOf.At(cc, nv)), subRank.At(cc, nv))
+		}
+	})
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if inS.At(cc, v) == 0 {
+				continue
+			}
+			sv := l.Succ.At(cc, v)
+			if sv < 0 {
+				rank.Set(cc, v, w.At(cc, v)) // removed tail: rank = w (0 at top level)
+			} else {
+				rank.Set(cc, v, w.At(cc, v)+rank.At(cc, int(sv)))
+			}
+		}
+	})
+}
+
+// MOIS computes an independent set of the list (Figure 6), setting
+// inS[v] = 1 for members.  Among any three consecutive nodes at least one
+// is selected, so |S| >= n/3.
+func MOIS(c *core.Ctx, l List, inS core.I64) {
+	n := l.N
+	s := c.Session()
+	color := Colors(c, l)
+	ncol := int(scan.ReduceU64(c, core.U64{Base: color.Base, N: n}, scan.MaxU, 0)) + 1
+
+	// Steps 3+5 fused: sorting (color, id) records groups nodes by color
+	// with each group pre-sorted by identifier.
+	rec := s.NewPairs(n)
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			rec.Set(cc, v, core.Pair{Key: uint64(color.At(cc, v))<<colorShift | uint64(v), Val: uint64(v)})
+		}
+	})
+	spms.Sort(c, rec)
+
+	// Segment bounds per color, found by a CGC boundary scan.
+	starts := s.NewI64(ncol + 1)
+	scan.FillI64(c, starts, int64(n))
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			cj := int(rec.Key(cc, k) >> colorShift)
+			if k == 0 || int(rec.Key(cc, k-1)>>colorShift) != cj {
+				starts.Set(cc, cj, int64(k))
+			}
+		}
+	})
+	// Empty colors inherit the next start (scan right to left, host side
+	// over <= O(log log n) colors).
+	bounds := make([]int, ncol+1)
+	bounds[ncol] = n
+	for j := ncol - 1; j >= 0; j-- {
+		b := int(starts.At(c, j))
+		if b == n { // empty color
+			b = bounds[j+1]
+		}
+		bounds[j] = b
+	}
+
+	// Lay out the per-color group buffers with 3x headroom (paper: at most
+	// 3·n_j records ever enter group j) and copy the originals in.
+	gbase := make([]int, ncol)
+	glen := make([]int, ncol)
+	off := 0
+	for j := 0; j < ncol; j++ {
+		gbase[j] = off
+		glen[j] = bounds[j+1] - bounds[j]
+		off += 3*glen[j] + 4
+	}
+	groups := s.NewPairs(off)
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p := rec.At(cc, k)
+			cj := int(p.Key >> colorShift)
+			groups.Set(cc, gbase[cj]+(k-bounds[cj]), core.Pair{Key: p.Val, Val: 0})
+		}
+	})
+
+	scan.FillI64(c, inS, 0)
+	// Steps 4-7: one iteration per color, each O(1) sorts and scans.
+	for j := 0; j < ncol; j++ {
+		if glen[j] == 0 {
+			continue
+		}
+		seg := groups.Slice(gbase[j], gbase[j]+glen[j])
+		spms.Sort(c, seg) // duplicates become adjacent (sorted by id)
+		// Step 6 [CGC]: select ids occurring exactly once; push duplicate
+		// records for the neighbours of every selected node.
+		dupSeg := s.NewPairs(2 * seg.N)
+		c.PFor(seg.N, 2, func(cc *core.Ctx, lo, hi int) {
+			for k := lo; k < hi; k++ {
+				id := seg.Key(cc, k)
+				uniq := (k == 0 || seg.Key(cc, k-1) != id) &&
+					(k == seg.N-1 || seg.Key(cc, k+1) != id)
+				d0 := core.Pair{Key: ^uint64(0), Val: 0}
+				d1 := d0
+				if uniq {
+					v := int(id)
+					inS.Set(cc, v, 1)
+					if sv := l.Succ.At(cc, v); sv >= 0 {
+						d0 = core.Pair{Key: uint64(color.At(cc, int(sv)))<<colorShift | uint64(sv), Val: 1}
+					}
+					if pv := l.Pred.At(cc, v); pv >= 0 {
+						d1 = core.Pair{Key: uint64(color.At(cc, int(pv)))<<colorShift | uint64(pv), Val: 1}
+					}
+				}
+				dupSeg.Set(cc, 2*k, d0)
+				dupSeg.Set(cc, 2*k+1, d1)
+			}
+		})
+		// Step 7 [CGC]: route duplicates into the later color groups.
+		for j2 := j + 1; j2 < ncol; j2++ {
+			tgt := groups.Slice(gbase[j2]+glen[j2], gbase[j2]+3*(bounds[j2+1]-bounds[j2])+4)
+			cnt := scan.PackPairs(c, tgt, dupSeg, func(p core.Pair) bool {
+				return p.Key != ^uint64(0) && int(p.Key>>colorShift) == j2
+			})
+			// Strip the color tag so group records stay (id, isDup).
+			c.PFor(cnt, 2, func(cc *core.Ctx, lo, hi int) {
+				for k := lo; k < hi; k++ {
+					p := tgt.At(cc, k)
+					tgt.Set(cc, k, core.Pair{Key: p.Key & (1<<colorShift - 1), Val: 1})
+				}
+			})
+			glen[j2] += cnt
+		}
+	}
+}
+
+// Colors computes an O(log log n)-coloring of the list by applying
+// deterministic coin flipping colorRounds times (Figure 6, step 1).  The
+// list is treated as circular for coloring only, so every node has a
+// successor to compare against; adjacent nodes always get distinct colors.
+func Colors(c *core.Ctx, l List) core.I64 {
+	n := l.N
+	s := c.Session()
+	color := s.NewI64(n)
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			color.Set(cc, v, int64(v))
+		}
+	})
+	if n == 1 {
+		return color
+	}
+	head := FindHead(c, l)
+	next := s.NewI64(n)
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sv := l.Succ.At(cc, v)
+			if sv < 0 {
+				sv = int64(head) // close the ring
+			}
+			next.Set(cc, v, sv)
+		}
+	})
+	for r := 0; r < colorRounds; r++ {
+		sc := Gather(c, next, color)
+		nc := s.NewI64(n)
+		c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				cv := uint64(color.At(cc, v))
+				cs := uint64(sc.At(cc, v))
+				k := int64(0)
+				if cv != cs {
+					d := cv ^ cs
+					for d&1 == 0 {
+						d >>= 1
+						k++
+					}
+				}
+				cc.Tick(1)
+				nc.Set(cc, v, 2*k+int64((cv>>uint64(k))&1))
+			}
+		})
+		color = nc
+	}
+	return color
+}
+
+// Gather returns out with out[v] = vals[idx[v]] (idx[v] >= 0 required),
+// implemented with O(1) sorts and scans (the paper's step-2 idiom): route
+// requests to the data by sorting on the target, read the values with a
+// monotone scan, route replies back by sorting on the requester.
+func Gather(c *core.Ctx, idx, vals core.I64) core.I64 {
+	n := idx.N
+	s := c.Session()
+	req := s.NewPairs(n)
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			req.Set(cc, v, core.Pair{Key: uint64(idx.At(cc, v)), Val: uint64(v)})
+		}
+	})
+	spms.Sort(c, req)
+	rep := s.NewPairs(n)
+	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			p := req.At(cc, k)
+			rep.Set(cc, k, core.Pair{Key: p.Val, Val: uint64(vals.At(cc, int(p.Key)))})
+		}
+	})
+	spms.Sort(c, rep)
+	out := s.NewI64(n)
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			out.Set(cc, v, int64(rep.At(cc, v).Val))
+		}
+	})
+	return out
+}
+
+// FindHead locates the node with no predecessor via a CGC reduction.
+func FindHead(c *core.Ctx, l List) int {
+	s := c.Session()
+	h := s.NewU64(l.N)
+	c.PFor(l.N, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if l.Pred.At(cc, v) < 0 {
+				h.Set(cc, v, uint64(v))
+			} else {
+				h.Set(cc, v, 0)
+			}
+		}
+	})
+	return int(scan.ReduceU64(c, h, scan.MaxU, 0))
+}
+
+// serialRankW is the base case: chase the list from the head and assign
+// rank(v) = w(v) + rank(succ(v)), rank past the end = 0.
+func serialRankW(c *core.Ctx, l List, w, rank core.I64) {
+	if l.N == 0 {
+		return
+	}
+	order := make([]int, 0, l.N)
+	v := FindHead(c, l)
+	for v >= 0 {
+		order = append(order, v)
+		v = int(l.Succ.At(c, v))
+	}
+	prev := int64(0)
+	for i := len(order) - 1; i >= 0; i-- {
+		r := w.At(c, order[i]) + prev
+		rank.Set(c, order[i], r)
+		prev = r
+	}
+}
+
+// Wyllie is the pointer-jumping baseline: Θ(n·log n) work, log n rounds of
+// full-array jumps.
+func Wyllie(c *core.Ctx, l List, rank core.I64) {
+	n := l.N
+	s := c.Session()
+	w := s.NewI64(n)
+	nxt := s.NewI64(n)
+	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sv := l.Succ.At(cc, v)
+			nxt.Set(cc, v, sv)
+			if sv < 0 {
+				w.Set(cc, v, 0)
+			} else {
+				w.Set(cc, v, 1)
+			}
+		}
+	})
+	for stride := 1; stride < 2*n; stride *= 2 {
+		w2 := s.NewI64(n)
+		n2 := s.NewI64(n)
+		c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				sv := nxt.At(cc, v)
+				if sv < 0 {
+					w2.Set(cc, v, w.At(cc, v))
+					n2.Set(cc, v, -1)
+				} else {
+					w2.Set(cc, v, w.At(cc, v)+w.At(cc, int(sv)))
+					n2.Set(cc, v, nxt.At(cc, int(sv)))
+				}
+			}
+		})
+		w, nxt = w2, n2
+	}
+	scan.CopyU64(c, core.U64{Base: rank.Base, N: n}, core.U64{Base: w.Base, N: n})
+}
+
+// SerialRank is the sequential oracle.
+func SerialRank(c *core.Ctx, l List, rank core.I64) {
+	s := c.Session()
+	w := s.NewI64(l.N)
+	for v := 0; v < l.N; v++ {
+		if l.Succ.At(c, v) < 0 {
+			w.Set(c, v, 0)
+		} else {
+			w.Set(c, v, 1)
+		}
+	}
+	serialRankW(c, l, w, rank)
+}
+
+// FromPerm builds the list visiting perm[0], perm[1], ..., perm[n-1] in
+// order (host-side construction).
+func FromPerm(s *core.Session, perm []int) List {
+	n := len(perm)
+	l := List{N: n, Succ: s.NewI64(n), Pred: s.NewI64(n)}
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			s.PokeI(l.Succ, perm[i], int64(perm[i+1]))
+		} else {
+			s.PokeI(l.Succ, perm[i], -1)
+		}
+		if i > 0 {
+			s.PokeI(l.Pred, perm[i], int64(perm[i-1]))
+		} else {
+			s.PokeI(l.Pred, perm[i], -1)
+		}
+	}
+	return l
+}
+
+// RankWeighted ranks with explicit link weights:
+// rank(v) = w(v) + rank(succ(v)), with rank past the end = 0.  Used by the
+// Euler-tour tree computations, which rank the tour under several weight
+// assignments.
+func RankWeighted(c *core.Ctx, l List, w, rank core.I64) { molr(c, l, w, rank) }

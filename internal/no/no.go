@@ -1,0 +1,216 @@
+// Package no implements the network-oblivious substrate of Bilardi et al.
+// used in paper §IV: the M(N) machine (N processing elements with local
+// memory communicating point-to-point in synchronous supersteps), its
+// execution on M(p,B) (each processor simulates N/p consecutive PEs;
+// messages between processors travel in blocks of B words), and the
+// D-BSP(P, g, B) communication-time accounting.
+//
+// A network-oblivious algorithm is written against the Step API only — it
+// sees N and its own PE index, never p or B.  The World records, per
+// superstep, the exact word traffic between each processor pair, from which
+// it derives:
+//
+//   - communication complexity on M(p,B): Σ_s h_s, where h_s is the
+//     maximum over processors of max(blocks sent, blocks received), with
+//     ceil(words/B) blocks per ordered processor pair;
+//   - computation complexity: Σ_s of the maximum over processors of local
+//     operations (explicit Work charges plus one per message word);
+//   - D-BSP communication time: Σ_s h_s(B_i)·g_i, where i is the smallest
+//     cluster level containing every message of superstep s.
+package no
+
+import "fmt"
+
+// Msg is one received message.
+type Msg struct {
+	Src  int
+	Tag  int
+	Data []uint64
+}
+
+// World is an M(N) machine executed on M(p,B).
+type World struct {
+	N int // PEs
+	P int // processors (must divide N, power of two for D-BSP accounting)
+	B int // block size in words
+
+	inbox  [][]Msg // delivered this superstep
+	outbox [][]Msg // sent during the running superstep
+
+	steps   int
+	comm    int64 // Σ h_s with the configured B
+	compTot int64 // Σ max-per-processor work
+
+	work []int64 // per-processor work in the running superstep
+
+	// pairWords[s] records cross-processor traffic of superstep s as a map
+	// from src*P+dst to words, for D-BSP re-costing under different block
+	// sizes.
+	pairWords []map[int]int64
+}
+
+// NewWorld creates an M(N) machine executed on p processors with block
+// size b.  p must divide N.
+func NewWorld(n, p, b int) *World {
+	if p <= 0 || n%p != 0 {
+		panic(fmt.Sprintf("no: p=%d must divide N=%d", p, n))
+	}
+	if b <= 0 {
+		b = 1
+	}
+	return &World{
+		N:     n,
+		P:     p,
+		B:     b,
+		inbox: make([][]Msg, n),
+		work:  make([]int64, p),
+	}
+}
+
+// ProcOf returns the processor simulating PE pe (N/p consecutive PEs per
+// processor, as the model prescribes).
+func (w *World) ProcOf(pe int) int { return pe / (w.N / w.P) }
+
+// Env is the per-PE view during a superstep.
+type Env struct {
+	w  *World
+	pe int
+}
+
+// PE returns the executing processing element's index.
+func (e *Env) PE() int { return e.pe }
+
+// N returns the machine size (part of the M(N) specification, so network-
+// oblivious algorithms may use it).
+func (e *Env) N() int { return e.w.N }
+
+// Inbox returns the messages delivered to this PE (sent in the previous
+// superstep), in deterministic (src, send order) order.
+func (e *Env) Inbox() []Msg { return e.w.inbox[e.pe] }
+
+// Send queues a message for delivery at the start of the next superstep.
+// The payload is copied.  One unit of work is charged per word.
+func (e *Env) Send(dst, tag int, data ...uint64) {
+	if dst < 0 || dst >= e.w.N {
+		panic(fmt.Sprintf("no: send to PE %d of %d", dst, e.w.N))
+	}
+	cp := append([]uint64(nil), data...)
+	e.w.outbox[dst] = append(e.w.outbox[dst], Msg{Src: e.pe, Tag: tag, Data: cp})
+	e.w.work[e.w.ProcOf(e.pe)] += int64(len(data))
+}
+
+// Work charges n local operations to the executing PE's processor.
+func (e *Env) Work(n int64) { e.w.work[e.w.ProcOf(e.pe)] += n }
+
+// Step runs one superstep: f is invoked for every PE (in index order —
+// the simulation is sequential and deterministic), messages sent during the
+// superstep are delivered at the next one, and the communication accounts
+// are updated.
+func (w *World) Step(f func(e *Env)) {
+	w.outbox = make([][]Msg, w.N)
+	for i := range w.work {
+		w.work[i] = 0
+	}
+	env := Env{w: w}
+	for pe := 0; pe < w.N; pe++ {
+		env.pe = pe
+		f(&env)
+	}
+	// Account the traffic.
+	pairs := make(map[int]int64)
+	recvWork := make([]int64, w.P)
+	for dst := 0; dst < w.N; dst++ {
+		for _, m := range w.outbox[dst] {
+			sp, dp := w.ProcOf(m.Src), w.ProcOf(dst)
+			recvWork[dp] += int64(len(m.Data))
+			if sp != dp {
+				pairs[sp*w.P+dp] += int64(len(m.Data))
+			}
+		}
+	}
+	w.pairWords = append(w.pairWords, pairs)
+	w.comm += hRelation(pairs, w.P, int64(w.B))
+	maxWork := int64(0)
+	for i := range w.work {
+		if t := w.work[i] + recvWork[i]; t > maxWork {
+			maxWork = t
+		}
+	}
+	w.compTot += maxWork
+	w.steps++
+	w.inbox = w.outbox
+	w.outbox = nil
+}
+
+// hRelation computes h_s = max over processors of max(sent, received)
+// blocks for the given pair traffic and block size.
+func hRelation(pairs map[int]int64, p int, b int64) int64 {
+	sent := make([]int64, p)
+	recv := make([]int64, p)
+	for key, words := range pairs {
+		blocks := (words + b - 1) / b
+		sent[key/p] += blocks
+		recv[key%p] += blocks
+	}
+	h := int64(0)
+	for i := 0; i < p; i++ {
+		if sent[i] > h {
+			h = sent[i]
+		}
+		if recv[i] > h {
+			h = recv[i]
+		}
+	}
+	return h
+}
+
+// Supersteps returns the number of supersteps executed.
+func (w *World) Supersteps() int { return w.steps }
+
+// Comm returns the communication complexity on M(p,B): Σ_s h_s.
+func (w *World) Comm() int64 { return w.comm }
+
+// Computation returns the computation complexity: Σ_s of the maximum
+// per-processor work.
+func (w *World) Computation() int64 { return w.compTot }
+
+// DBSPTime returns the D-BSP(P, g, B) communication time of the recorded
+// execution: for each superstep, the smallest enclosing cluster level i
+// (every message stays within a cluster of size P/2^i) contributes
+// h_s(B_i)·g_i.  g and bs are indexed by cluster level 0..log2(P)-1;
+// P is the world's processor count, which must be a power of two.
+func (w *World) DBSPTime(g []float64, bs []int64) float64 {
+	logP := 0
+	for 1<<logP < w.P {
+		logP++
+	}
+	if 1<<logP != w.P {
+		panic("no: D-BSP accounting requires power-of-two P")
+	}
+	if len(g) < logP || len(bs) < logP {
+		panic("no: need g and B vectors of length log2(P)")
+	}
+	total := 0.0
+	for _, pairs := range w.pairWords {
+		if len(pairs) == 0 {
+			continue
+		}
+		// Smallest cluster size 2^k covering every (src,dst) pair.
+		k := 0
+		for key := range pairs {
+			s, d := key/w.P, key%w.P
+			for s>>k != d>>k {
+				k++
+			}
+		}
+		if k == 0 {
+			continue // same processor (cannot happen: pairs are cross-proc)
+		}
+		i := logP - k // cluster size 2^k ⇔ level i with 2^i clusters
+		if i < 0 {
+			i = 0
+		}
+		total += float64(hRelation(pairs, w.P, bs[i])) * g[i]
+	}
+	return total
+}

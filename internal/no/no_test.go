@@ -1,0 +1,217 @@
+package no
+
+import "testing"
+
+func TestMessageDelivery(t *testing.T) {
+	w := NewWorld(8, 2, 4)
+	w.Step(func(e *Env) {
+		e.Send((e.PE()+1)%8, 7, uint64(e.PE()))
+	})
+	got := make([]uint64, 8)
+	w.Step(func(e *Env) {
+		for _, m := range e.Inbox() {
+			if m.Tag != 7 {
+				t.Errorf("tag %d", m.Tag)
+			}
+			got[e.PE()] = m.Data[0]
+		}
+	})
+	for pe := 0; pe < 8; pe++ {
+		want := uint64((pe + 7) % 8)
+		if got[pe] != want {
+			t.Fatalf("PE %d received %d, want %d", pe, got[pe], want)
+		}
+	}
+}
+
+func TestLocalMessagesAreFree(t *testing.T) {
+	w := NewWorld(8, 2, 1)
+	// PEs 0..3 on proc 0, 4..7 on proc 1; intra-proc sends cost nothing.
+	w.Step(func(e *Env) {
+		if e.PE() < 3 {
+			e.Send(e.PE()+1, 0, 1)
+		}
+	})
+	if w.Comm() != 0 {
+		t.Fatalf("intra-processor traffic charged: %d", w.Comm())
+	}
+}
+
+func TestBlockedCommAccounting(t *testing.T) {
+	// 5 words from proc 0 to proc 1 with B=4 → 2 blocks.
+	w := NewWorld(8, 2, 4)
+	w.Step(func(e *Env) {
+		if e.PE() == 0 {
+			e.Send(4, 0, 1, 2, 3, 4, 5)
+		}
+	})
+	if w.Comm() != 2 {
+		t.Fatalf("comm = %d, want 2 blocks", w.Comm())
+	}
+}
+
+func TestHRelationIsMaxOverProcs(t *testing.T) {
+	// Proc 0 sends 1 block to proc 1 AND proc 2; proc 3 sends 1 to proc 0.
+	// max(sent)=2 at proc 0 → h = 2.
+	w := NewWorld(8, 4, 8)
+	w.Step(func(e *Env) {
+		switch e.PE() {
+		case 0:
+			e.Send(2, 0, 1)
+			e.Send(4, 0, 1)
+		case 6:
+			e.Send(0, 0, 1)
+		}
+	})
+	if w.Comm() != 2 {
+		t.Fatalf("h = %d, want 2", w.Comm())
+	}
+}
+
+func TestComputationIsMaxPerProc(t *testing.T) {
+	w := NewWorld(4, 2, 1)
+	w.Step(func(e *Env) {
+		if e.PE() < 2 {
+			e.Work(10) // both on proc 0: 20 total
+		} else {
+			e.Work(5)
+		}
+	})
+	if w.Computation() != 20 {
+		t.Fatalf("computation = %d, want 20", w.Computation())
+	}
+}
+
+func TestDBSPClusterLevels(t *testing.T) {
+	// P=4 → levels 0 (clusters of 4) and 1 (clusters of 2).
+	g := []float64{10, 1}
+	bs := []int64{1, 1}
+	// Neighbour communication within 2-clusters: level 1, cost h·g1 = 1.
+	w := NewWorld(8, 4, 1)
+	w.Step(func(e *Env) {
+		if e.PE() == 0 {
+			e.Send(2, 0, 1) // proc 0 → proc 1: cluster {0,1} = level 1
+		}
+	})
+	if got := w.DBSPTime(g, bs); got != 1 {
+		t.Fatalf("near communication cost %v, want 1 (g1)", got)
+	}
+	// Far communication: proc 0 → proc 3 needs the full machine: level 0.
+	w2 := NewWorld(8, 4, 1)
+	w2.Step(func(e *Env) {
+		if e.PE() == 0 {
+			e.Send(6, 0, 1)
+		}
+	})
+	if got := w2.DBSPTime(g, bs); got != 10 {
+		t.Fatalf("far communication cost %v, want 10 (g0)", got)
+	}
+}
+
+func TestSupersteps(t *testing.T) {
+	w := NewWorld(4, 2, 1)
+	for i := 0; i < 5; i++ {
+		w.Step(func(e *Env) {})
+	}
+	if w.Supersteps() != 5 {
+		t.Fatalf("supersteps = %d", w.Supersteps())
+	}
+}
+
+func TestObliviousReexecution(t *testing.T) {
+	// The same algorithm on different (p, B) gives identical results but
+	// different communication counts — the essence of network-obliviousness.
+	run := func(p, b int) (sum uint64, comm int64) {
+		w := NewWorld(16, p, b)
+		w.Step(func(e *Env) { e.Send(15-e.PE(), 0, uint64(e.PE())) })
+		w.Step(func(e *Env) {
+			for _, m := range e.Inbox() {
+				if e.PE() == 0 {
+					sum += m.Data[0]
+				}
+			}
+		})
+		return sum, w.Comm()
+	}
+	s1, c1 := run(2, 1)
+	s2, c2 := run(8, 4)
+	if s1 != s2 {
+		t.Fatalf("results differ across machines: %d vs %d", s1, s2)
+	}
+	if c1 == c2 {
+		t.Fatal("different (p,B) should cost differently for this pattern")
+	}
+}
+
+func TestSendOutOfRangePanics(t *testing.T) {
+	w := NewWorld(4, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for out-of-range destination")
+		}
+	}()
+	w.Step(func(e *Env) {
+		if e.PE() == 0 {
+			e.Send(99, 0, 1)
+		}
+	})
+}
+
+func TestNewWorldRejectsBadP(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for p not dividing N")
+		}
+	}()
+	NewWorld(10, 3, 1)
+}
+
+func TestDBSPRequiresPow2P(t *testing.T) {
+	w := NewWorld(16, 4, 1)
+	w.Step(func(e *Env) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for short g vector")
+		}
+	}()
+	w.DBSPTime([]float64{1}, []int64{1}) // need log2(4)=2 entries
+}
+
+func TestEnvNAndProcOf(t *testing.T) {
+	w := NewWorld(8, 4, 1)
+	w.Step(func(e *Env) {
+		if e.N() != 8 {
+			t.Errorf("N() = %d", e.N())
+		}
+	})
+	if w.ProcOf(0) != 0 || w.ProcOf(2) != 1 || w.ProcOf(7) != 3 {
+		t.Error("ProcOf mapping wrong")
+	}
+}
+
+func TestInboxOrderDeterministic(t *testing.T) {
+	collect := func() []int {
+		w := NewWorld(8, 2, 1)
+		w.Step(func(e *Env) {
+			e.Send(0, e.PE(), uint64(e.PE()))
+		})
+		var got []int
+		w.Step(func(e *Env) {
+			if e.PE() == 0 {
+				for _, m := range e.Inbox() {
+					got = append(got, m.Src)
+				}
+			}
+		})
+		return got
+	}
+	a, b := collect(), collect()
+	if len(a) != 8 {
+		t.Fatalf("received %d messages", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("inbox order differs between identical runs")
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package noalgo
+
+import (
+	"oblivhm/internal/bitint"
+	"oblivhm/internal/no"
+)
+
+// Columnsort (Leighton) — the basis of the paper's network-oblivious
+// sorting algorithm [4]: view the N keys as an r×s matrix (column-major,
+// one key per PE, columns contiguous) with r ≥ 2(s−1)²; then
+//
+//	1. sort every column;
+//	2. "transpose": pick entries up column by column, lay them down row
+//	   by row (a fixed permutation);
+//	3. sort every column;
+//	4. invert the step-2 permutation;
+//	5. sort every column;
+//	6. sort every window of r consecutive entries starting at offset r/2
+//	   (equivalent to the classical shift / sort / unshift with ±∞
+//	   padding, since windows are exactly the column boundaries).
+//
+// Column and window sorts run on contiguous PE subranges: for p ≤ s
+// processors they are processor-local and free, so the cross-processor
+// communication is dominated by the two transposes — Θ(n/(pB)), the
+// paper's NO sorting bound (versus bitonic's extra log² factor).
+//
+// Column sorts use bitonic sorting restricted to the subrange; with
+// r = N/s and s ≈ N^{1/3} those are size-N^{2/3} subproblems.
+
+// ColumnSort sorts keys ascending (one per PE, N a power of two >= 4).
+func ColumnSort(w *no.World, keys []uint64) { ColumnSortPairs(w, keys, nil) }
+
+// ColumnSortPairs sorts (key, value) records by key; vals may be nil for
+// key-only sorting.  Records travel together through every permutation and
+// compare-exchange.
+func ColumnSortPairs(w *no.World, keys, vals []uint64) {
+	n := w.N
+	if !bitint.IsPow2(n) || len(keys) != n || (vals != nil && len(vals) != n) {
+		panic("noalgo: columnsort needs power-of-two N PEs")
+	}
+	s := pickColumns(n)
+	if s < 2 {
+		BitonicSortPairs(w, keys, vals)
+		return
+	}
+	r := n / s
+
+	sortCols := func() {
+		los := make([]int, s)
+		for c := 0; c < s; c++ {
+			los[c] = c * r
+		}
+		bitonicGroups(w, keys, vals, los, r)
+	}
+
+	sortCols()                               // step 1
+	permute(w, keys, vals, func(k int) int { // step 2: transpose r×s
+		return (k%s)*r + k/s
+	})
+	sortCols()                               // step 3
+	permute(w, keys, vals, func(k int) int { // step 4: untranspose
+		return (k%r)*s + k/r
+	})
+	sortCols() // step 5
+	// Step 6: sort the s-1 boundary windows of length r at offset r/2.
+	los := make([]int, s-1)
+	for c := 0; c < s-1; c++ {
+		los[c] = c*r + r/2
+	}
+	bitonicGroups(w, keys, vals, los, r)
+}
+
+// pickColumns returns the largest power-of-two s >= 2 with
+// N/s >= 2(s-1)², or 1 if none exists.
+func pickColumns(n int) int {
+	best := 1
+	for s := 2; s*s*s <= 8*n; s <<= 1 {
+		if n/s >= 2*(s-1)*(s-1) {
+			best = s
+		}
+	}
+	return best
+}
+
+// permute routes every record through the global permutation f (two
+// supersteps).
+func permute(w *no.World, keys, vals []uint64, f func(k int) int) {
+	w.Step(func(e *no.Env) {
+		if vals != nil {
+			e.Send(f(e.PE()), 0, keys[e.PE()], vals[e.PE()])
+		} else {
+			e.Send(f(e.PE()), 0, keys[e.PE()])
+		}
+	})
+	w.Step(func(e *no.Env) {
+		for _, m := range e.Inbox() {
+			keys[e.PE()] = m.Data[0]
+			if vals != nil {
+				vals[e.PE()] = m.Data[1]
+			}
+		}
+	})
+}
+
+// bitonicGroups runs bitonic sorting simultaneously on the given
+// contiguous PE subranges of identical length r (a power of two); each
+// compare-exchange stage is one send plus one resolve superstep shared by
+// all groups.
+func bitonicGroups(w *no.World, keys, vals []uint64, los []int, r int) {
+	inGroup := make(map[int]int, len(los)*r) // PE -> group base
+	for _, lo := range los {
+		for i := 0; i < r; i++ {
+			inGroup[lo+i] = lo
+		}
+	}
+	for k := 2; k <= r; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			kk, jj := k, j
+			w.Step(func(e *no.Env) {
+				lo, ok := inGroup[e.PE()]
+				if !ok {
+					return
+				}
+				g := e.PE() - lo
+				e.Work(1)
+				if vals != nil {
+					e.Send(lo+(g^jj), 0, keys[e.PE()], vals[e.PE()])
+				} else {
+					e.Send(lo+(g^jj), 0, keys[e.PE()])
+				}
+			})
+			w.Step(func(e *no.Env) {
+				lo, ok := inGroup[e.PE()]
+				if !ok || len(e.Inbox()) == 0 {
+					return
+				}
+				g := e.PE() - lo
+				msg := e.Inbox()[0].Data
+				other := msg[0]
+				asc := g&kk == 0
+				keepMin := (g&jj == 0) == asc
+				take := false
+				e.Work(1)
+				if keepMin {
+					take = other < keys[e.PE()]
+				} else {
+					take = other > keys[e.PE()]
+				}
+				if take {
+					keys[e.PE()] = other
+					if vals != nil {
+						vals[e.PE()] = msg[1]
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package noalgo implements the network-oblivious algorithms of paper
+// §III-§VI on the M(N) substrate of package no: matrix transposition and
+// FFT (the [4] algorithms the paper's MO versions were adapted from),
+// prefix sums, sorting, and list ranking (NO-LR with the evenly-distributed
+// contraction of §VI-B).
+//
+// State convention: one element per PE, held in caller-owned slices indexed
+// by PE.  All data movement goes through World messages so that the
+// communication accounts are exact.
+//
+// Sorting comes in two flavours: ColumnSort (Leighton's columnsort, the
+// structure behind the paper's NO sorting algorithm — communication
+// Θ(n/(pB)) for p up to Θ(N^{1/3}) here, since its column sorts use bitonic
+// subgroups) and BitonicSort (the fully oblivious baseline with a log²
+// factor).  See DESIGN.md for the exact scope notes.
+package noalgo
+
+import (
+	"math"
+
+	"oblivhm/internal/bitint"
+	"oblivhm/internal/no"
+)
+
+// Transpose performs NO-MT: with N = n² PEs holding A in row-major order
+// (PE i·n+j holds A[i][j]), every PE sends its element to the transposed
+// position.  One communication superstep plus one delivery superstep.
+func Transpose(w *no.World, n int, val []uint64) {
+	if len(val) != n*n || w.N != n*n {
+		panic("noalgo: transpose needs N = n^2 PEs")
+	}
+	w.Step(func(e *no.Env) {
+		i, j := e.PE()/n, e.PE()%n
+		e.Send(j*n+i, 0, val[e.PE()])
+	})
+	w.Step(func(e *no.Env) {
+		for _, m := range e.Inbox() {
+			val[e.PE()] = m.Data[0]
+		}
+	})
+}
+
+// PrefixSums computes the exclusive prefix sums of val (one element per
+// PE, N a power of two) with the Blelloch up-sweep/down-sweep tree: 2·log N
+// supersteps, each with O(1) blocks per processor — only the top log p
+// levels cross processors, giving Θ(log p) communication.
+// Returns the total.
+func PrefixSums(w *no.World, val []uint64) uint64 {
+	n := w.N
+	if !bitint.IsPow2(n) || len(val) != n {
+		panic("noalgo: prefix sums need power-of-two N PEs")
+	}
+	// Up-sweep.
+	for k := 1; k < n; k <<= 1 {
+		kk := k
+		w.Step(func(e *no.Env) {
+			pe := e.PE()
+			if (pe+1)%(2*kk) == kk { // left child of a merge sends right
+				e.Send(pe+kk, 0, val[pe])
+			}
+		})
+		w.Step(func(e *no.Env) {
+			for _, m := range e.Inbox() {
+				e.Work(1)
+				val[e.PE()] += m.Data[0]
+			}
+		})
+	}
+	total := val[n-1]
+	val[n-1] = 0
+	// Down-sweep.
+	for k := n / 2; k >= 1; k >>= 1 {
+		kk := k
+		w.Step(func(e *no.Env) {
+			pe := e.PE()
+			if (pe+1)%(2*kk) == 0 { // parent position sends both ways
+				e.Send(pe-kk, 1, val[pe])         // its value goes left
+				e.Send(pe, 2, val[pe-kk]+val[pe]) // left+own goes to itself
+			}
+		})
+		w.Step(func(e *no.Env) {
+			for _, m := range e.Inbox() {
+				e.Work(1)
+				val[e.PE()] = m.Data[0]
+			}
+		})
+	}
+	return total
+}
+
+// FFT computes the in-place DFT of x (one complex element per PE, N a
+// power of two) with the recursive transpose-based network-oblivious
+// algorithm: n = n1·n2, transpose, n2 parallel sub-FFTs of size n1 on
+// contiguous PE subgroups, twiddle, transpose, n1 sub-FFTs of size n2,
+// final transpose.
+func FFT(w *no.World, x []complex128) {
+	if !bitint.IsPow2(w.N) || len(x) != w.N {
+		panic("noalgo: FFT needs power-of-two N PEs")
+	}
+	fftGroups(w, x, []int{0}, w.N)
+}
+
+func fftGroups(w *no.World, x []complex128, los []int, n int) {
+	if n == 1 {
+		return
+	}
+	if n == 2 {
+		inGroup := groupIndex(los, 2)
+		w.Step(func(e *no.Env) {
+			if g, ok := inGroup[e.PE()]; ok {
+				_ = g
+				e.Work(1)
+				e.Send(e.PE()^1, 0, cbits(x[e.PE()])...)
+			}
+		})
+		w.Step(func(e *no.Env) {
+			for _, m := range e.Inbox() {
+				other := cfrom(m.Data)
+				if e.PE()&1 == 0 {
+					x[e.PE()] = x[e.PE()] + other
+				} else {
+					x[e.PE()] = other - x[e.PE()]
+				}
+			}
+		})
+		return
+	}
+	k := bitint.Log2(n)
+	n1 := 1 << ((k + 1) / 2)
+	n2 := 1 << (k / 2)
+	inGroup := groupIndex(los, n)
+
+	// Transpose the n1×n2 view: local index i·n2+j → j·n1+i.
+	sendPerm(w, x, inGroup, func(idx int) int {
+		i, j := idx/n2, idx%n2
+		return j*n1 + i
+	})
+	// n2 sub-FFTs of size n1 (contiguous subgroups).
+	sub := make([]int, 0, len(los)*n2)
+	for _, lo := range los {
+		for j := 0; j < n2; j++ {
+			sub = append(sub, lo+j*n1)
+		}
+	}
+	fftGroups(w, x, sub, n1)
+	// Twiddle: PE at local j·n1+k1 multiplies by ω_n^{-j·k1}.
+	w.Step(func(e *no.Env) {
+		if g, ok := inGroup[e.PE()]; ok {
+			j, k1 := g/n1, g%n1
+			e.Work(1)
+			x[e.PE()] *= twiddle(n, j*k1)
+		}
+	})
+	// Transpose back: local j·n1+k1 → k1·n2+j.
+	sendPerm(w, x, inGroup, func(idx int) int {
+		j, k1 := idx/n1, idx%n1
+		return k1*n2 + j
+	})
+	// n1 sub-FFTs of size n2.
+	sub = sub[:0]
+	for _, lo := range los {
+		for k1 := 0; k1 < n1; k1++ {
+			sub = append(sub, lo+k1*n2)
+		}
+	}
+	fftGroups(w, x, sub, n2)
+	// Final transpose: local k1·n2+k2 → k2·n1+k1 puts Y in order.
+	sendPerm(w, x, inGroup, func(idx int) int {
+		k1, k2 := idx/n2, idx%n2
+		return k2*n1 + k1
+	})
+}
+
+// groupIndex maps each member PE to its local index within its group.
+func groupIndex(los []int, n int) map[int]int {
+	m := make(map[int]int, len(los)*n)
+	for _, lo := range los {
+		for i := 0; i < n; i++ {
+			m[lo+i] = i
+		}
+	}
+	return m
+}
+
+// sendPerm routes every group element through the local permutation f
+// (two supersteps: send, deliver).
+func sendPerm(w *no.World, x []complex128, inGroup map[int]int, f func(idx int) int) {
+	w.Step(func(e *no.Env) {
+		if g, ok := inGroup[e.PE()]; ok {
+			e.Send(e.PE()-g+f(g), 0, cbits(x[e.PE()])...)
+		}
+	})
+	w.Step(func(e *no.Env) {
+		for _, m := range e.Inbox() {
+			x[e.PE()] = cfrom(m.Data)
+		}
+	})
+}
+
+func twiddle(n, e int) complex128 {
+	th := -2 * math.Pi * float64(e%n) / float64(n)
+	s, c := math.Sincos(th)
+	return complex(c, s)
+}
+
+func cbits(x complex128) []uint64 {
+	return []uint64{math.Float64bits(real(x)), math.Float64bits(imag(x))}
+}
+
+func cfrom(d []uint64) complex128 {
+	return complex(math.Float64frombits(d[0]), math.Float64frombits(d[1]))
+}
+
+// BitonicSort sorts keys ascending (one key per PE, N a power of two):
+// log²N compare-exchange stages, each two supersteps.  This is the fully
+// network-oblivious sorting baseline (comm O((N/(pB))·log²(N/p') ) — a
+// log² factor above the paper's columnsort-based NO sort).
+func BitonicSort(w *no.World, keys []uint64) { BitonicSortPairs(w, keys, nil) }
+
+// BitonicSortPairs is BitonicSort carrying one payload word per key (vals
+// may be nil).
+func BitonicSortPairs(w *no.World, keys, vals []uint64) {
+	n := w.N
+	if !bitint.IsPow2(n) || len(keys) != n || (vals != nil && len(vals) != n) {
+		panic("noalgo: bitonic sort needs power-of-two N PEs")
+	}
+	for k := 2; k <= n; k <<= 1 {
+		for j := k >> 1; j > 0; j >>= 1 {
+			kk, jj := k, j
+			w.Step(func(e *no.Env) {
+				e.Work(1)
+				if vals != nil {
+					e.Send(e.PE()^jj, 0, keys[e.PE()], vals[e.PE()])
+				} else {
+					e.Send(e.PE()^jj, 0, keys[e.PE()])
+				}
+			})
+			w.Step(func(e *no.Env) {
+				pe := e.PE()
+				msg := e.Inbox()[0].Data
+				other := msg[0]
+				asc := pe&kk == 0
+				keepMin := (pe&jj == 0) == asc
+				take := false
+				e.Work(1)
+				if keepMin {
+					take = other < keys[pe]
+				} else {
+					take = other > keys[pe]
+				}
+				if take {
+					keys[pe] = other
+					if vals != nil {
+						vals[pe] = msg[1]
+					}
+				}
+			})
+		}
+	}
+}

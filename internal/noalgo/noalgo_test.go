@@ -1,0 +1,426 @@
+package noalgo
+
+import (
+	"math/cmplx"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"oblivhm/internal/fft"
+	"oblivhm/internal/no"
+)
+
+func TestTranspose(t *testing.T) {
+	n := 8
+	w := no.NewWorld(n*n, 4, 4)
+	val := make([]uint64, n*n)
+	for i := range val {
+		val[i] = uint64(i)
+	}
+	Transpose(w, n, val)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if val[j*n+i] != uint64(i*n+j) {
+				t.Fatalf("val[%d][%d] = %d", j, i, val[j*n+i])
+			}
+		}
+	}
+}
+
+// TestTransposeCommScaling: communication is Θ(n²/(pB)) — doubling B
+// should roughly halve the block count while the result is unchanged.
+func TestTransposeCommScaling(t *testing.T) {
+	n := 32
+	comm := func(p, b int) int64 {
+		w := no.NewWorld(n*n, p, b)
+		val := make([]uint64, n*n)
+		for i := range val {
+			val[i] = uint64(i)
+		}
+		Transpose(w, n, val)
+		return w.Comm()
+	}
+	c1 := comm(4, 4)
+	c2 := comm(4, 8)
+	if c2*3 > c1*2 {
+		t.Errorf("doubling B: comm %d -> %d, want ~halving", c1, c2)
+	}
+	// Communication formula check with slack: n²/(pB) per paper.
+	want := int64(n * n / (4 * 4))
+	if c1 < want/2 || c1 > 4*want {
+		t.Errorf("comm %d far from n²/(pB) = %d", c1, want)
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	n := 64
+	w := no.NewWorld(n, 8, 2)
+	val := make([]uint64, n)
+	want := make([]uint64, n)
+	acc := uint64(0)
+	for i := range val {
+		val[i] = uint64(i%5 + 1)
+		want[i] = acc
+		acc += val[i]
+	}
+	total := PrefixSums(w, val)
+	if total != acc {
+		t.Fatalf("total = %d, want %d", total, acc)
+	}
+	for i := range val {
+		if val[i] != want[i] {
+			t.Fatalf("prefix[%d] = %d, want %d", i, val[i], want[i])
+		}
+	}
+}
+
+// TestPrefixCommIsLogP: the tree scan's cross-processor traffic is
+// Θ(log p) blocks, independent of n.
+func TestPrefixCommIsLogP(t *testing.T) {
+	comm := func(n int) int64 {
+		w := no.NewWorld(n, 8, 1)
+		val := make([]uint64, n)
+		for i := range val {
+			val[i] = 1
+		}
+		PrefixSums(w, val)
+		return w.Comm()
+	}
+	c256, c4096 := comm(256), comm(4096)
+	if c4096 > 2*c256 {
+		t.Errorf("prefix comm grows with n: %d vs %d (should be Θ(log p))", c256, c4096)
+	}
+	if c256 > 64 {
+		t.Errorf("prefix comm %d way above O(log p)", c256)
+	}
+}
+
+func TestNOFFTMatchesOracle(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16, 64, 256} {
+		p := 4
+		if n < 4 {
+			p = n
+		}
+		w := no.NewWorld(n, p, 2)
+		rng := rand.New(rand.NewSource(int64(n)))
+		in := make([]complex128, n)
+		for i := range in {
+			in[i] = complex(rng.Float64()*2-1, rng.Float64()*2-1)
+		}
+		x := append([]complex128(nil), in...)
+		FFT(w, x)
+		want := fft.NaiveDFT(in)
+		for i := range want {
+			if cmplx.Abs(x[i]-want[i]) > 1e-6*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBitonicSort(t *testing.T) {
+	for _, n := range []int{2, 8, 64, 512} {
+		p := 4
+		if n < p {
+			p = n
+		}
+		w := no.NewWorld(n, p, 2)
+		rng := rand.New(rand.NewSource(int64(n)))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(1000))
+		}
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		BitonicSort(w, keys)
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("n=%d: keys[%d] = %d, want %d", n, i, keys[i], want[i])
+			}
+		}
+	}
+}
+
+func TestListRank(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 64, 256} {
+		w := no.NewWorld(n, 4, 2)
+		perm := rand.New(rand.NewSource(int64(n))).Perm(n)
+		succ := make([]int, n)
+		pred := make([]int, n)
+		for i := 0; i < n; i++ {
+			if i+1 < n {
+				succ[perm[i]] = perm[i+1]
+			} else {
+				succ[perm[i]] = -1
+			}
+			if i > 0 {
+				pred[perm[i]] = perm[i-1]
+			} else {
+				pred[perm[i]] = -1
+			}
+		}
+		rank := ListRank(w, succ, pred)
+		for pos, v := range perm {
+			if rank[v] != int64(n-1-pos) {
+				t.Fatalf("n=%d: rank[%d] = %d, want %d", n, v, rank[v], n-1-pos)
+			}
+		}
+	}
+}
+
+// TestTheorem9CompComplexity: NO-LR computation complexity is
+// Θ((n/p)·log n) — quadrupling n at fixed p should grow work by ~4·(log
+// ratio), well under 8x.
+func TestTheorem9CompComplexity(t *testing.T) {
+	run := func(n int) int64 {
+		w := no.NewWorld(n, 4, 2)
+		perm := rand.New(rand.NewSource(1)).Perm(n)
+		succ := make([]int, n)
+		pred := make([]int, n)
+		for i := 0; i < n; i++ {
+			succ[perm[i]] = -1
+			pred[perm[i]] = -1
+			if i+1 < n {
+				succ[perm[i]] = perm[i+1]
+			}
+			if i > 0 {
+				pred[perm[i]] = perm[i-1]
+			}
+		}
+		ListRank(w, succ, pred)
+		return w.Computation()
+	}
+	c1, c2 := run(256), run(1024)
+	if ratio := float64(c2) / float64(c1); ratio > 8 {
+		t.Errorf("computation grew %.1fx over 4x n (want ~<5x)", ratio)
+	}
+}
+
+func TestColumnSort(t *testing.T) {
+	for _, n := range []int{4, 16, 64, 256, 1024, 4096} {
+		p := 4
+		if n < p {
+			p = n
+		}
+		w := no.NewWorld(n, p, 2)
+		rng := rand.New(rand.NewSource(int64(n) * 7))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64() % 5000
+		}
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		ColumnSort(w, keys)
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("n=%d: keys[%d] = %d, want %d", n, i, keys[i], want[i])
+			}
+		}
+	}
+}
+
+func TestColumnSortAdversarial(t *testing.T) {
+	n := 512
+	cases := map[string]func(i int) uint64{
+		"sorted":   func(i int) uint64 { return uint64(i) },
+		"reverse":  func(i int) uint64 { return uint64(n - i) },
+		"allequal": func(i int) uint64 { return 9 },
+		"sawtooth": func(i int) uint64 { return uint64(i % 7) },
+	}
+	for name, gen := range cases {
+		w := no.NewWorld(n, 8, 4)
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = gen(i)
+		}
+		want := append([]uint64(nil), keys...)
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		ColumnSort(w, keys)
+		for i := range keys {
+			if keys[i] != want[i] {
+				t.Fatalf("%s: keys[%d] = %d, want %d", name, i, keys[i], want[i])
+			}
+		}
+	}
+}
+
+// TestColumnSortBeatsBitonicComm: for p <= s the column sorts are
+// processor-local, so columnsort's cross-processor traffic (the two
+// transposes) undercuts full bitonic's log²-stage traffic — the reason
+// the paper's NO sort is columnsort-based.
+func TestColumnSortBeatsBitonicComm(t *testing.T) {
+	n, p, b := 4096, 8, 4
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]uint64, n)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+	}
+	w1 := no.NewWorld(n, p, b)
+	k1 := append([]uint64(nil), keys...)
+	ColumnSort(w1, k1)
+	w2 := no.NewWorld(n, p, b)
+	k2 := append([]uint64(nil), keys...)
+	BitonicSort(w2, k2)
+	if w1.Comm()*2 > w2.Comm() {
+		t.Errorf("columnsort comm %d not well below bitonic %d", w1.Comm(), w2.Comm())
+	}
+}
+
+func TestNOCC(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{8, 5}, {32, 20}, {64, 100}, {128, 60}} {
+		w := no.NewWorld(tc.n, 4, 2)
+		rng := rand.New(rand.NewSource(int64(tc.n)))
+		adj := make([][]int, tc.n)
+		type edge [2]int
+		var edges []edge
+		seen := map[edge]bool{}
+		for len(edges) < tc.m {
+			u, v := rng.Intn(tc.n), rng.Intn(tc.n)
+			if u == v || seen[edge{u, v}] {
+				continue
+			}
+			seen[edge{u, v}] = true
+			seen[edge{v, u}] = true
+			edges = append(edges, edge{u, v})
+			adj[u] = append(adj[u], v)
+			adj[v] = append(adj[v], u)
+		}
+		comp := ConnectedComponents(w, adj)
+		// Union-find oracle.
+		parent := make([]int, tc.n)
+		for i := range parent {
+			parent[i] = i
+		}
+		var find func(int) int
+		find = func(x int) int {
+			for parent[x] != x {
+				parent[x] = parent[parent[x]]
+				x = parent[x]
+			}
+			return x
+		}
+		for _, e := range edges {
+			a, b := find(e[0]), find(e[1])
+			if a != b {
+				parent[a] = b
+			}
+		}
+		for u := 0; u < tc.n; u++ {
+			for v := 0; v < tc.n; v++ {
+				same := find(u) == find(v)
+				if (comp[u] == comp[v]) != same {
+					t.Fatalf("n=%d m=%d: vertices %d,%d partition mismatch", tc.n, tc.m, u, v)
+				}
+			}
+		}
+	}
+}
+
+func TestNOCCNoEdges(t *testing.T) {
+	n := 16
+	w := no.NewWorld(n, 4, 2)
+	comp := ConnectedComponents(w, make([][]int, n))
+	for v := 0; v < n; v++ {
+		if comp[v] != v {
+			t.Fatalf("isolated vertex %d got label %d", v, comp[v])
+		}
+	}
+}
+
+func TestSortPairsCarryPayload(t *testing.T) {
+	n := 256
+	w := no.NewWorld(n, 4, 2)
+	rng := rand.New(rand.NewSource(44))
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(rng.Intn(100))
+		vals[i] = uint64(i)
+	}
+	orig := append([]uint64(nil), keys...)
+	ColumnSortPairs(w, keys, vals)
+	for i := 1; i < n; i++ {
+		if keys[i-1] > keys[i] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if orig[vals[i]] != keys[i] {
+			t.Fatalf("payload decoupled from key at %d", i)
+		}
+	}
+}
+
+func TestListRankWeighted(t *testing.T) {
+	n := 16
+	w := no.NewWorld(n, 4, 2)
+	// Identity list 0 -> 1 -> ... -> 15 with weight v+1 on node v.
+	succ := make([]int, n)
+	pred := make([]int, n)
+	wts := make([]int64, n)
+	for v := 0; v < n; v++ {
+		succ[v], pred[v] = v+1, v-1
+		wts[v] = int64(v + 1)
+	}
+	succ[n-1] = -1
+	rank := ListRankWeighted(w, succ, pred, wts)
+	for v := 0; v < n; v++ {
+		want := int64(0)
+		for u := v; u < n; u++ {
+			want += int64(u + 1)
+		}
+		if rank[v] != want {
+			t.Fatalf("rank[%d] = %d, want %d", v, rank[v], want)
+		}
+	}
+}
+
+func TestEulerTreeOpsAgainstDFS(t *testing.T) {
+	for _, n := range []int{3, 5, 9, 33, 129} { // 2(n-1) is a power of two
+		w := no.NewWorld(2*(n-1), 4, 2)
+		rng := rand.New(rand.NewSource(int64(n)))
+		var edges [][2]int
+		children := make([][]int, n)
+		for v := 1; v < n; v++ {
+			p := rng.Intn(v)
+			edges = append(edges, [2]int{p, v})
+			children[p] = append(children[p], v)
+		}
+		res := EulerTreeOps(w, n, 0, edges)
+		depth := make([]int64, n)
+		size := make([]int64, n)
+		parent := make([]int, n)
+		parent[0] = -1
+		var dfs func(v int) int64
+		dfs = func(v int) int64 {
+			size[v] = 1
+			for _, c := range children[v] {
+				parent[c] = v
+				depth[c] = depth[v] + 1
+				size[v] += dfs(c)
+			}
+			return size[v]
+		}
+		dfs(0)
+		seen := make([]bool, n)
+		for v := 0; v < n; v++ {
+			if res.Parent[v] != parent[v] {
+				t.Fatalf("n=%d: parent[%d] = %d, want %d", n, v, res.Parent[v], parent[v])
+			}
+			if res.Depth[v] != depth[v] {
+				t.Fatalf("n=%d: depth[%d] = %d, want %d", n, v, res.Depth[v], depth[v])
+			}
+			if res.Size[v] != size[v] {
+				t.Fatalf("n=%d: size[%d] = %d, want %d", n, v, res.Size[v], size[v])
+			}
+			p := res.Pre[v]
+			if p < 0 || p >= int64(n) || seen[p] {
+				t.Fatalf("n=%d: preorder not a permutation at %d", n, v)
+			}
+			seen[p] = true
+			if parent[v] >= 0 && res.Pre[parent[v]] >= p {
+				t.Fatalf("n=%d: parent numbered after child %d", n, v)
+			}
+		}
+	}
+}

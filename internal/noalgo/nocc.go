@@ -1,0 +1,139 @@
+package noalgo
+
+import "oblivhm/internal/no"
+
+// NO connected components (paper Theorem 10): one vertex per PE with its
+// adjacency list in local memory; hook-and-contract entirely by
+// point-to-point messages.  Each round: every live vertex hooks to
+// min(itself, its minimum neighbour), the pseudo-forest is contracted by
+// pointer jumping (request/reply supersteps), edges are relabelled by
+// querying each endpoint's root, and each contracted vertex's adjacency
+// moves to its representative.  O(log n) rounds; per round the edge
+// traffic is a Θ(m/p)-relation.
+
+// ConnectedComponents returns comp with comp[u] == comp[v] iff u and v are
+// connected.  adj is the symmetric adjacency list, one entry per vertex
+// (= per PE).
+func ConnectedComponents(w *no.World, adj [][]int) []int {
+	n := w.N
+	if len(adj) != n {
+		panic("noalgo: need one adjacency list per PE")
+	}
+	// Working copies: cur[v] = current-round adjacency of representative v.
+	cur := make([][]int, n)
+	for v := range adj {
+		cur[v] = append([]int(nil), adj[v]...)
+	}
+	comp := make([]int, n)
+	rep := make([]int, n) // current representative of each original vertex
+	for v := range comp {
+		comp[v] = v
+		rep[v] = v
+	}
+	parent := make([]int, n)
+
+	edges := 0
+	for _, a := range cur {
+		edges += len(a)
+	}
+	for round := 0; edges > 0 && round < 64; round++ {
+		// Hook to the minimum neighbour (local: adjacency is resident).
+		w.Step(func(e *no.Env) {
+			v := e.PE()
+			parent[v] = v
+			for _, u := range cur[v] {
+				e.Work(1)
+				if u < parent[v] {
+					parent[v] = u
+				}
+			}
+		})
+		// Pointer-jump to roots: request/reply doubling.
+		for j := 1; j < 2*n; j *= 2 {
+			next := make([]int, n)
+			w.Step(func(e *no.Env) {
+				e.Send(parent[e.PE()], 0, uint64(e.PE()))
+			})
+			w.Step(func(e *no.Env) {
+				for _, m := range e.Inbox() {
+					e.Send(int(m.Data[0]), 1, uint64(parent[e.PE()]))
+				}
+			})
+			w.Step(func(e *no.Env) {
+				next[e.PE()] = parent[e.PE()]
+				for _, m := range e.Inbox() {
+					next[e.PE()] = int(m.Data[0])
+				}
+			})
+			copy(parent, next)
+		}
+		// Update each original vertex's representative.
+		newRep := make([]int, n)
+		w.Step(func(e *no.Env) {
+			e.Send(rep[e.PE()], 2, uint64(e.PE()))
+		})
+		w.Step(func(e *no.Env) {
+			for _, m := range e.Inbox() {
+				e.Send(int(m.Data[0]), 3, uint64(parent[e.PE()]))
+			}
+		})
+		w.Step(func(e *no.Env) {
+			newRep[e.PE()] = rep[e.PE()]
+			for _, m := range e.Inbox() {
+				newRep[e.PE()] = int(m.Data[0])
+			}
+		})
+		copy(rep, newRep)
+
+		// Relabel edges: each vertex asks the root of every neighbour,
+		// then ships the surviving (non-loop) edges to its own root.
+		nbrRoot := make([][]int, n)
+		w.Step(func(e *no.Env) {
+			v := e.PE()
+			nbrRoot[v] = make([]int, len(cur[v]))
+			for k, u := range cur[v] {
+				e.Send(u, 4, uint64(v), uint64(k))
+			}
+		})
+		w.Step(func(e *no.Env) {
+			for _, m := range e.Inbox() {
+				e.Send(int(m.Data[0]), 5, m.Data[1], uint64(parent[e.PE()]))
+			}
+		})
+		w.Step(func(e *no.Env) {
+			v := e.PE()
+			for _, m := range e.Inbox() {
+				nbrRoot[v][int(m.Data[0])] = int(m.Data[1])
+			}
+		})
+		next := make([][]int, n)
+		w.Step(func(e *no.Env) {
+			v := e.PE()
+			pv := parent[v]
+			for _, ru := range nbrRoot[v] {
+				if ru != pv {
+					e.Send(pv, 6, uint64(ru))
+				}
+			}
+		})
+		w.Step(func(e *no.Env) {
+			v := e.PE()
+			seen := map[int]bool{}
+			for _, m := range e.Inbox() {
+				u := int(m.Data[0])
+				if !seen[u] {
+					seen[u] = true
+					next[v] = append(next[v], u)
+					e.Work(1)
+				}
+			}
+		})
+		cur = next
+		edges = 0
+		for _, a := range cur {
+			edges += len(a)
+		}
+	}
+	copy(comp, rep)
+	return comp
+}

@@ -1,0 +1,203 @@
+package noalgo
+
+import (
+	"oblivhm/internal/bitint"
+	"oblivhm/internal/no"
+)
+
+// NO Euler-tour tree computations (paper §VI-B: "it is easy to derive NO
+// algorithms with the same complexities as NO-LR for Euler tour and many
+// tree problems").  The machine holds one tree arc per PE (N = 2(n-1), a
+// power of two); the tour is built with O(1) sorts (payload-carrying
+// columnsort) and point-to-point queries, then three weighted NO-LR
+// rankings yield tour positions, vertex depths and preorder numbers, from
+// which parents and subtree sizes follow.
+
+// TreeResult holds per-vertex outputs (host slices indexed by vertex).
+type TreeResult struct {
+	Parent []int   // Parent[root] = -1
+	Depth  []int64 // edge distance from the root
+	Pre    []int64 // preorder number (root = 0)
+	Size   []int64 // subtree size (root = n)
+}
+
+// packArc / unpackArc mirror the MO graph package's key encoding.
+func packArc(u, v int) uint64       { return uint64(u)<<32 | uint64(v) }
+func unpackArc(k uint64) (int, int) { return int(k >> 32), int(k & 0xffffffff) }
+
+// EulerTreeOps computes parent, depth, preorder and subtree size of every
+// vertex of the rooted tree with the given undirected edges.  The machine
+// must have N = 2·len(edges) PEs (one per arc), N a power of two.
+func EulerTreeOps(w *no.World, n, root int, edges [][2]int) TreeResult {
+	m := 2 * len(edges)
+	if w.N != m || !bitint.IsPow2(m) {
+		panic("noalgo: tree ops need N = 2·(n-1) PEs, a power of two")
+	}
+	// Arcs, one per PE, then sorted by (src, dst).
+	arcs := make([]uint64, m)
+	for i, e := range edges {
+		arcs[2*i] = packArc(e[0], e[1])
+		arcs[2*i+1] = packArc(e[1], e[0])
+	}
+	ColumnSort(w, arcs)
+
+	// rev[i]: sort (reversed key, index); the sorted multiset matches the
+	// arc order, so position k's payload j means rev[j] = k.
+	rkeys := make([]uint64, m)
+	rvals := make([]uint64, m)
+	rev := make([]int, m)
+	w.Step(func(e *no.Env) {
+		u, v := unpackArc(arcs[e.PE()])
+		rkeys[e.PE()] = packArc(v, u)
+		rvals[e.PE()] = uint64(e.PE())
+	})
+	ColumnSortPairs(w, rkeys, rvals)
+	w.Step(func(e *no.Env) {
+		e.Send(int(rvals[e.PE()]), 0, uint64(e.PE()))
+	})
+	w.Step(func(e *no.Env) {
+		for _, msg := range e.Inbox() {
+			rev[e.PE()] = int(msg.Data[0])
+		}
+	})
+
+	// Group boundaries: isFirst[i] = arc i starts its source's out-group.
+	isFirst := make([]bool, m)
+	w.Step(func(e *no.Env) {
+		if e.PE() > 0 {
+			u, _ := unpackArc(arcs[e.PE()])
+			e.Send(e.PE()-1, 1, uint64(u))
+		}
+	})
+	w.Step(func(e *no.Env) {
+		pe := e.PE()
+		if pe == 0 {
+			isFirst[0] = true
+		}
+		for _, msg := range e.Inbox() {
+			u, _ := unpackArc(arcs[pe])
+			if int(msg.Data[0]) != u {
+				isFirst[pe+1] = true
+			}
+		}
+	})
+	// first[v] lives on PE v (vertices fit: n <= m for n >= 2).
+	first := make([]int, n)
+	w.Step(func(e *no.Env) {
+		if isFirst[e.PE()] {
+			u, _ := unpackArc(arcs[e.PE()])
+			e.Send(u, 2, uint64(e.PE()))
+		}
+	})
+	w.Step(func(e *no.Env) {
+		for _, msg := range e.Inbox() {
+			first[e.PE()] = int(msg.Data[0])
+		}
+	})
+
+	// Tour successor: succ(i) = arc after rev(i) in its source's cyclic
+	// group; the cycle is cut before the root's first arc.
+	head := first[root]
+	succ := make([]int, m)
+	pred := make([]int, m)
+	w.Step(func(e *no.Env) {
+		i := e.PE()
+		j := rev[i]
+		v, _ := unpackArc(arcs[j])
+		nxt := j + 1
+		if nxt >= m || isFirst[nxt] {
+			nxt = first[v]
+		}
+		if nxt == head {
+			succ[i] = -1
+		} else {
+			succ[i] = nxt
+		}
+	})
+	w.Step(func(e *no.Env) {
+		if s := succ[e.PE()]; s >= 0 {
+			e.Send(s, 3, uint64(e.PE()))
+		}
+	})
+	w.Step(func(e *no.Env) {
+		pred[e.PE()] = -1
+		for _, msg := range e.Inbox() {
+			pred[e.PE()] = int(msg.Data[0])
+		}
+	})
+
+	// Positions from unit ranking, then down flags via rev exchange.
+	rank := ListRank(w, succ, pred)
+	pos := make([]int64, m)
+	down := make([]bool, m)
+	w.Step(func(e *no.Env) {
+		pos[e.PE()] = int64(m-1) - rank[e.PE()]
+		e.Send(rev[e.PE()], 4, uint64(pos[e.PE()]))
+	})
+	revPos := make([]int64, m)
+	w.Step(func(e *no.Env) {
+		for _, msg := range e.Inbox() {
+			revPos[e.PE()] = int64(msg.Data[0])
+		}
+		down[e.PE()] = pos[e.PE()] < revPos[e.PE()]
+	})
+
+	// Weighted rankings: ±1 for depth, down-flag for preorder.
+	wpm := make([]int64, m)
+	wdn := make([]int64, m)
+	for i := 0; i < m; i++ {
+		if down[i] {
+			wpm[i], wdn[i] = 1, 1
+		} else {
+			wpm[i], wdn[i] = -1, 0
+		}
+	}
+	sufPM := ListRankWeighted(w, succ, pred, wpm)
+	sufDN := ListRankWeighted(w, succ, pred, wdn)
+
+	// Scatter per down arc to the vertex PEs; collect host-side.
+	res := TreeResult{
+		Parent: make([]int, n),
+		Depth:  make([]int64, n),
+		Pre:    make([]int64, n),
+		Size:   make([]int64, n),
+	}
+	totalDown := int64(n - 1)
+	type vrec struct {
+		parent         int
+		depth, pre, sz int64
+	}
+	got := make([]vrec, n)
+	w.Step(func(e *no.Env) {
+		i := e.PE()
+		if !down[i] {
+			return
+		}
+		u, v := unpackArc(arcs[i])
+		e.Send(v, 5, uint64(u),
+			uint64(1-sufPM[i]),
+			uint64(totalDown-sufDN[i]+1),
+			uint64((revPos[i]-pos[i]+1)/2))
+	})
+	w.Step(func(e *no.Env) {
+		for _, msg := range e.Inbox() {
+			got[e.PE()] = vrec{
+				parent: int(msg.Data[0]),
+				depth:  int64(msg.Data[1]),
+				pre:    int64(msg.Data[2]),
+				sz:     int64(msg.Data[3]),
+			}
+		}
+	})
+	for v := 0; v < n; v++ {
+		res.Parent[v] = got[v].parent
+		res.Depth[v] = got[v].depth
+		res.Pre[v] = got[v].pre
+		res.Size[v] = got[v].sz
+	}
+	res.Parent[root] = -1
+	res.Depth[root] = 0
+	res.Pre[root] = 0
+	res.Size[root] = int64(n)
+	return res
+}

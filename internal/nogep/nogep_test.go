@@ -1,0 +1,189 @@
+package nogep
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/gep"
+	"oblivhm/internal/no"
+)
+
+// refGEP runs the Figure-5 triple loop on the host.
+func refGEP(m int, x []float64, g gep.Spec) []float64 {
+	out := append([]float64(nil), x...)
+	for k := 0; k < m; k++ {
+		for i := 0; i < m; i++ {
+			for j := 0; j < m; j++ {
+				if g.S.Has(i, j, k) {
+					out[i*m+j] = g.F(out[i*m+j], out[i*m+k], out[k*m+j], out[k*m+k])
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randMat(m int, seed int64, diagBoost float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			x[i*m+j] = rng.Float64() + 0.5
+			if i == j {
+				x[i*m+j] += diagBoost
+			}
+		}
+	}
+	return x
+}
+
+func close2(a, b []float64, tol float64) int {
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(b[i])) {
+			return i
+		}
+	}
+	return -1
+}
+
+// TestNGEPMatchesReference: N-GEP (with 𝒟*) on the distributed machine
+// must equal the host triple loop for the commutative instances.
+func TestNGEPMatchesReference(t *testing.T) {
+	for _, m := range []int{4, 8, 16, 32} {
+		for _, pes := range []int{4, 16} {
+			if m*m < pes {
+				continue
+			}
+			t.Run("", func(t *testing.T) {
+				// Floyd–Warshall.
+				w := no.NewWorld(pes, minInt(4, pes), 2)
+				e := &Engine{W: w, Spec: gep.Floyd(), UseDStar: true}
+				in := randMat(m, int64(m), 0)
+				got := e.RunGEP(m, in)
+				want := refGEP(m, in, gep.Floyd())
+				if i := close2(got, want, 1e-9); i >= 0 {
+					t.Fatalf("floyd m=%d pes=%d: mismatch at %d: %v vs %v", m, pes, i, got[i], want[i])
+				}
+				// Gaussian elimination (diagonally dominant).
+				w2 := no.NewWorld(pes, minInt(4, pes), 2)
+				e2 := &Engine{W: w2, Spec: gep.Gauss(), UseDStar: true}
+				in2 := randMat(m, int64(m)+99, float64(2*m))
+				got2 := e2.RunGEP(m, in2)
+				want2 := refGEP(m, in2, gep.Gauss())
+				if i := close2(got2, want2, 1e-6); i >= 0 {
+					t.Fatalf("gauss m=%d pes=%d: mismatch at %d: %v vs %v", m, pes, i, got2[i], want2[i])
+				}
+			})
+		}
+	}
+}
+
+// TestNGEPDOrderingAlsoCorrect: for commutative computations the original
+// 𝒟 ordering gives the same answer (§V-B equivalence).
+func TestNGEPDOrderingAlsoCorrect(t *testing.T) {
+	m, pes := 16, 16
+	in := randMat(m, 5, 0)
+	want := refGEP(m, in, gep.Floyd())
+	for _, star := range []bool{false, true} {
+		w := no.NewWorld(pes, 4, 2)
+		e := &Engine{W: w, Spec: gep.Floyd(), UseDStar: star}
+		got := e.RunGEP(m, in)
+		if i := close2(got, want, 1e-9); i >= 0 {
+			t.Fatalf("star=%v: mismatch at %d", star, i)
+		}
+	}
+}
+
+// TestTableIDStarReducesComm: the E10 experiment in miniature — with the
+// 𝒟* ordering no U/V quadrant is read twice in a round, so the recorded
+// communication must be strictly below the 𝒟 ordering's.
+func TestTableIDStarReducesComm(t *testing.T) {
+	m, pes := 32, 64
+	a := randMat(m, 1, 0)
+	b := randMat(m, 2, 0)
+	cin := make([]float64, m*m)
+	comm := func(star bool) int64 {
+		w := no.NewWorld(pes, 8, 4)
+		e := &Engine{W: w, Spec: gep.MulAdd(), UseDStar: star}
+		e.RunMatMul(m, cin, a, b)
+		return w.Comm()
+	}
+	cd, cds := comm(false), comm(true)
+	if cds >= cd {
+		t.Errorf("D* comm %d not below D comm %d", cds, cd)
+	}
+}
+
+// TestNGEPMatMul: the 𝒟 path computes C += A·B.
+func TestNGEPMatMul(t *testing.T) {
+	m, pes := 16, 16
+	a := randMat(m, 3, 0)
+	b := randMat(m, 4, 0)
+	cin := make([]float64, m*m)
+	w := no.NewWorld(pes, 4, 2)
+	e := &Engine{W: w, Spec: gep.MulAdd(), UseDStar: true}
+	got := e.RunMatMul(m, cin, a, b)
+	want := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		for k := 0; k < m; k++ {
+			for j := 0; j < m; j++ {
+				want[i*m+j] += a[i*m+k] * b[k*m+j]
+			}
+		}
+	}
+	if i := close2(got, want, 1e-9); i >= 0 {
+		t.Fatalf("matmul mismatch at %d: %v vs %v", i, got[i], want[i])
+	}
+}
+
+// TestNGEPMatchesIGEP: the network-oblivious and multicore-oblivious
+// implementations agree bit-for-bit on min-plus (no float reassociation).
+func TestNGEPMatchesIGEP(t *testing.T) {
+	m := 16
+	in := randMat(m, 8, 0)
+	w := no.NewWorld(16, 4, 2)
+	e := &Engine{W: w, Spec: gep.Floyd(), UseDStar: true}
+	got := e.RunGEP(m, in)
+
+	s := core.NewNative(2)
+	x := s.NewMat(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			s.PokeM(x, i, j, in[i*m+j])
+		}
+	}
+	s.Run(gep.SpaceBound(m), func(c *core.Ctx) { gep.IGEP(c, x, gep.Floyd()) })
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			if got[i*m+j] != s.PeekM(x, i, j) {
+				t.Fatalf("N-GEP vs I-GEP differ at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// TestTheorem6CommScaling: communication scales like m²/(√p·B): doubling
+// B roughly halves it.
+func TestTheorem6CommScaling(t *testing.T) {
+	m, pes := 32, 64
+	in := randMat(m, 6, 0)
+	comm := func(b int) int64 {
+		w := no.NewWorld(pes, 8, b)
+		e := &Engine{W: w, Spec: gep.Floyd(), UseDStar: true}
+		e.RunGEP(m, in)
+		return w.Comm()
+	}
+	c1, c2 := comm(2), comm(8)
+	if c2*2 > c1 {
+		t.Errorf("4x block size: comm %d -> %d, want < half", c1, c2)
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,6 @@
+package scan
+
+import "math"
+
+func float64bits(x float64) uint64     { return math.Float64bits(x) }
+func float64frombits(x uint64) float64 { return math.Float64frombits(x) }

@@ -1,0 +1,278 @@
+package scan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/hm"
+)
+
+func sessions(t testing.TB) map[string]*core.Session {
+	return map[string]*core.Session{
+		"sim":    core.NewSim(hm.MustMachine(hm.HM4(4, 4))),
+		"native": core.NewNative(4),
+	}
+}
+
+func TestPrefixSumsI64(t *testing.T) {
+	for name, s := range sessions(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, n := range []int{1, 2, 3, 5, 8, 100, 1023, 4096} {
+				v := s.NewI64(n)
+				want := make([]int64, n)
+				acc := int64(0)
+				for i := 0; i < n; i++ {
+					x := int64(i%7 - 3)
+					s.PokeI(v, i, x)
+					acc += x
+					want[i] = acc
+				}
+				s.Run(int64(2*n), func(c *core.Ctx) { PrefixSumsI64(c, v) })
+				for i := 0; i < n; i++ {
+					if got := s.PeekI(v, i); got != want[i] {
+						t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got, want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestExclusiveSums(t *testing.T) {
+	s := core.NewNative(2)
+	n := 257
+	v := s.NewI64(n)
+	for i := 0; i < n; i++ {
+		s.PokeI(v, i, 2)
+	}
+	var total int64
+	s.Run(int64(2*n), func(c *core.Ctx) { total = ExclusiveSumsI64(c, v) })
+	if total != int64(2*n) {
+		t.Fatalf("total = %d, want %d", total, 2*n)
+	}
+	for i := 0; i < n; i++ {
+		if got := s.PeekI(v, i); got != int64(2*i) {
+			t.Fatalf("excl[%d] = %d, want %d", i, got, 2*i)
+		}
+	}
+}
+
+func TestPrefixSumsProperty(t *testing.T) {
+	prop := func(seed int64, nn uint16) bool {
+		n := int(nn)%500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		s := core.NewNative(3)
+		v := s.NewI64(n)
+		want := make([]int64, n)
+		acc := int64(0)
+		for i := 0; i < n; i++ {
+			x := int64(rng.Intn(2001) - 1000)
+			s.PokeI(v, i, x)
+			acc += x
+			want[i] = acc
+		}
+		s.Run(int64(2*n), func(c *core.Ctx) { PrefixSumsI64(c, v) })
+		for i := 0; i < n; i++ {
+			if s.PeekI(v, i) != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixSumsF64(t *testing.T) {
+	s := core.NewNative(2)
+	n := 100
+	v := s.NewF64(n)
+	for i := 0; i < n; i++ {
+		s.PokeF(v, i, 0.5)
+	}
+	s.Run(int64(2*n), func(c *core.Ctx) { PrefixSumsF64(c, v) })
+	for i := 0; i < n; i++ {
+		if got := s.PeekF(v, i); got != 0.5*float64(i+1) {
+			t.Fatalf("prefix[%d] = %v", i, got)
+		}
+	}
+}
+
+func TestReduceAndMax(t *testing.T) {
+	for name, s := range sessions(t) {
+		t.Run(name, func(t *testing.T) {
+			n := 1000
+			v := s.NewI64(n)
+			for i := 0; i < n; i++ {
+				s.PokeI(v, i, int64(i))
+			}
+			var sum int64
+			var mx uint64
+			s.Run(int64(2*n), func(c *core.Ctx) {
+				sum = SumI64(c, v)
+				mx = ReduceU64(c, core.U64{Base: v.Base, N: v.N}, MaxU, 0)
+			})
+			if sum != int64(n*(n-1)/2) {
+				t.Fatalf("sum = %d", sum)
+			}
+			if mx != uint64(n-1) {
+				t.Fatalf("max = %d", mx)
+			}
+		})
+	}
+}
+
+func TestFillCopyIota(t *testing.T) {
+	s := core.NewNative(2)
+	n := 300
+	a := s.NewU64(n)
+	b := s.NewU64(n)
+	s.Run(int64(2*n), func(c *core.Ctx) {
+		FillU64(c, a, 7)
+		IotaU64(c, b, 100)
+		CopyU64(c, a.Slice(0, 10), b.Slice(5, 15))
+	})
+	if s.PeekU(a, 0) != 105 || s.PeekU(a, 9) != 114 || s.PeekU(a, 10) != 7 {
+		t.Fatalf("fill/copy wrong: %d %d %d", s.PeekU(a, 0), s.PeekU(a, 9), s.PeekU(a, 10))
+	}
+	if s.PeekU(b, n-1) != uint64(100+n-1) {
+		t.Fatal("iota wrong")
+	}
+}
+
+func TestPackPairs(t *testing.T) {
+	for name, s := range sessions(t) {
+		t.Run(name, func(t *testing.T) {
+			n := 512
+			src := s.NewPairs(n)
+			dst := s.NewPairs(n)
+			for i := 0; i < n; i++ {
+				s.PokeP(src, i, core.Pair{Key: uint64(i), Val: uint64(i * 2)})
+			}
+			cnt := 0
+			s.Run(int64(4*n), func(c *core.Ctx) {
+				cnt = PackPairs(c, dst, src, func(p core.Pair) bool { return p.Key%3 == 0 })
+			})
+			want := 0
+			for i := 0; i < n; i++ {
+				if i%3 == 0 {
+					got := s.PeekP(dst, want)
+					if got.Key != uint64(i) || got.Val != uint64(2*i) {
+						t.Fatalf("packed[%d] = %+v, want key %d", want, got, i)
+					}
+					want++
+				}
+			}
+			if cnt != want {
+				t.Fatalf("count = %d, want %d", cnt, want)
+			}
+		})
+	}
+}
+
+// TestPrefixMissBound checks Theorem-style cache behaviour: prefix sums on
+// n words incur O(n/B_i) misses per level (constant factor <= 8 for the
+// contraction tree's extra passes).
+func TestPrefixMissBound(t *testing.T) {
+	m := hm.MustMachine(hm.MC3(4))
+	s := core.NewSim(m)
+	n := 1 << 14
+	v := s.NewI64(n)
+	for i := 0; i < n; i++ {
+		s.PokeI(v, i, 1)
+	}
+	st := s.RunCold(int64(2*n), func(c *core.Ctx) { PrefixSumsI64(c, v) })
+	for _, l := range st.Sim.Levels {
+		b := m.Cfg.Levels[l.Level-1].Block
+		bound := 8 * int64(n) / b
+		if l.TotalMisses > bound {
+			t.Errorf("L%d misses = %d > %d (8n/B)", l.Level, l.TotalMisses, bound)
+		}
+	}
+}
+
+// TestScanCriticalPath: §III-A claims scans run in O(B1·log n) parallel
+// steps (beyond the n/p work term).  With many cores and a modest n, the
+// measured steps must stay within a constant of n/p + B1·log2(n).
+func TestScanCriticalPath(t *testing.T) {
+	cfg := hm.HM5(2, 4, 4) // 32 cores
+	m := hm.MustMachine(cfg)
+	s := core.NewSim(m)
+	n := 1 << 12
+	v := s.NewI64(n)
+	for i := 0; i < n; i++ {
+		s.PokeI(v, i, 1)
+	}
+	st := s.RunCold(int64(2*n), func(c *core.Ctx) { PrefixSumsI64(c, v) })
+	b1 := float64(cfg.Levels[0].Block)
+	logn := 12.0
+	bound := int64(25 * (float64(n)/float64(cfg.Cores()) + b1*logn))
+	if st.Steps > bound {
+		t.Errorf("prefix steps = %d > %d (25·(n/p + B1·log n))", st.Steps, bound)
+	}
+}
+
+func TestFillI64AndCopyPairs(t *testing.T) {
+	s := core.NewNative(2)
+	v := s.NewI64(100)
+	src := s.NewPairs(50)
+	dst := s.NewPairs(50)
+	for i := 0; i < 50; i++ {
+		s.PokeP(src, i, core.Pair{Key: uint64(i), Val: uint64(i * i)})
+	}
+	s.Run(512, func(c *core.Ctx) {
+		FillI64(c, v, -3)
+		CopyPairs(c, dst, src)
+	})
+	for i := 0; i < 100; i++ {
+		if s.PeekI(v, i) != -3 {
+			t.Fatalf("fill wrong at %d", i)
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if p := s.PeekP(dst, i); p.Key != uint64(i) || p.Val != uint64(i*i) {
+			t.Fatalf("copy wrong at %d", i)
+		}
+	}
+}
+
+func TestPackPairsIndexedDedup(t *testing.T) {
+	// The canonical use: deduplicate a sorted record stream.
+	s := core.NewNative(2)
+	keys := []uint64{1, 1, 2, 5, 5, 5, 9}
+	src := s.NewPairs(len(keys))
+	dst := s.NewPairs(len(keys))
+	for i, k := range keys {
+		s.PokeP(src, i, core.Pair{Key: k})
+	}
+	cnt := 0
+	s.Run(256, func(c *core.Ctx) {
+		cnt = PackPairsIndexed(c, dst, src, func(cc *core.Ctx, i int, p core.Pair) bool {
+			return i == 0 || src.Key(cc, i-1) != p.Key
+		})
+	})
+	want := []uint64{1, 2, 5, 9}
+	if cnt != len(want) {
+		t.Fatalf("count = %d, want %d", cnt, len(want))
+	}
+	for i, k := range want {
+		if s.PeekP(dst, i).Key != k {
+			t.Fatalf("dedup[%d] = %d, want %d", i, s.PeekP(dst, i).Key, k)
+		}
+	}
+	// Empty input is a no-op.
+	s.Run(16, func(c *core.Ctx) {
+		if PackPairsIndexed(c, dst, s.NewPairs(0), func(cc *core.Ctx, i int, p core.Pair) bool { return true }) != 0 {
+			t.Error("empty pack returned nonzero")
+		}
+	})
+}
+
+func TestMaxUBothBranches(t *testing.T) {
+	if MaxU(3, 5) != 5 || MaxU(5, 3) != 5 || MaxU(4, 4) != 4 {
+		t.Fatal("MaxU wrong")
+	}
+}

@@ -1,0 +1,210 @@
+// Package spmdv implements MO-SpM-DV (paper Figure 4): multicore-oblivious
+// sparse matrix × dense vector multiplication for matrices whose support
+// graphs have good edge separators, together with the separator machinery
+// the paper assumes as preprocessing — synthetic support graphs (2-D grids,
+// trees, bands), recursive-bisection separator trees, and the induced
+// leaf-order reordering of rows and columns (Theorem 4 requires the input
+// reordered by the left-to-right order of separator-tree leaves).
+package spmdv
+
+import (
+	"math"
+	"sort"
+
+	"oblivhm/internal/core"
+)
+
+// Sparse is the paper's (A_v, A_0) row-major representation: Av holds the
+// nonzeros sorted by (row, col), each as a (col, float64-bits) record;
+// A0[i] is the start of row i in Av, with A0[n] = nnz.
+type Sparse struct {
+	N  int
+	Av core.Pairs
+	A0 core.I64
+}
+
+// Entry is one nonzero for matrix construction.
+type Entry struct {
+	I, J int
+	V    float64
+}
+
+// FromEntries builds the (A_v, A_0) representation from an unordered entry
+// list (host-side preprocessing, unaccounted).
+func FromEntries(s *core.Session, n int, entries []Entry) Sparse {
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(a, b int) bool {
+		if es[a].I != es[b].I {
+			return es[a].I < es[b].I
+		}
+		return es[a].J < es[b].J
+	})
+	sp := Sparse{N: n, Av: s.NewPairs(len(es)), A0: s.NewI64(n + 1)}
+	row := 0
+	for k, e := range es {
+		s.PokeP(sp.Av, k, core.Pair{Key: uint64(e.J), Val: math.Float64bits(e.V)})
+		for row <= e.I {
+			s.PokeI(sp.A0, row, int64(k))
+			row++
+		}
+	}
+	for ; row <= n; row++ {
+		s.PokeI(sp.A0, row, int64(len(es)))
+	}
+	return sp
+}
+
+// SpaceBound is the declared space bound of a subtask covering m rows, in
+// words.  The paper's S(m) = 4m counts unit-size elements; our Av records
+// are two words, so the bound is scaled accordingly.
+func SpaceBound(m int) int64 { return 8 * int64(m) }
+
+// MOSpMDV computes y = A·x following Figure 4: binary recursion over the
+// row range, each level forking two parallel subtasks under the CGC⇒SB
+// hint with space bound S(m).
+func MOSpMDV(c *core.Ctx, a Sparse, x, y core.F64) {
+	moSpMDV(c, a, x, y, 0, a.N-1)
+}
+
+func moSpMDV(c *core.Ctx, a Sparse, x, y core.F64, k1, k2 int) {
+	if k1 == k2 {
+		acc := 0.0
+		lo := int(a.A0.At(c, k1))
+		hi := int(a.A0.At(c, k1+1))
+		for k := lo; k < hi; k++ {
+			p := a.Av.At(c, k)
+			c.Tick(1)
+			acc += math.Float64frombits(p.Val) * x.At(c, int(p.Key))
+		}
+		y.Set(c, k1, acc)
+		return
+	}
+	k := (k1 + k2) / 2
+	c.SpawnCGCSB(SpaceBound(k2-k1+1)/2, 2, func(cc *core.Ctx, idx int) {
+		if idx == 0 {
+			moSpMDV(cc, a, x, y, k1, k)
+		} else {
+			moSpMDV(cc, a, x, y, k+1, k2)
+		}
+	})
+}
+
+// Serial is the oracle: a plain row-major traversal.
+func Serial(c *core.Ctx, a Sparse, x, y core.F64) {
+	for i := 0; i < a.N; i++ {
+		acc := 0.0
+		lo, hi := int(a.A0.At(c, i)), int(a.A0.At(c, i+1))
+		for k := lo; k < hi; k++ {
+			p := a.Av.At(c, k)
+			c.Tick(1)
+			acc += math.Float64frombits(p.Val) * x.At(c, int(p.Key))
+		}
+		y.Set(c, i, acc)
+	}
+}
+
+// ---- synthetic support graphs and separator reordering ----
+
+// GridEntries returns the entries of the Laplacian-like matrix of a
+// side×side 5-point grid (self loop + 4 neighbours), whose support graph
+// satisfies an n^{1/2}-edge separator theorem.  Vertex numbering follows
+// the given permutation perm (perm[gridIndex] = matrix index); pass nil for
+// the natural row-major order.
+func GridEntries(side int, perm []int) []Entry {
+	id := func(x, y int) int {
+		g := x*side + y
+		if perm != nil {
+			return perm[g]
+		}
+		return g
+	}
+	var es []Entry
+	for x := 0; x < side; x++ {
+		for y := 0; y < side; y++ {
+			u := id(x, y)
+			es = append(es, Entry{u, u, 4})
+			if x > 0 {
+				es = append(es, Entry{u, id(x-1, y), -1})
+			}
+			if x < side-1 {
+				es = append(es, Entry{u, id(x+1, y), -1})
+			}
+			if y > 0 {
+				es = append(es, Entry{u, id(x, y-1), -1})
+			}
+			if y < side-1 {
+				es = append(es, Entry{u, id(x, y+1), -1})
+			}
+		}
+	}
+	return es
+}
+
+// SeparatorOrderGrid returns the permutation induced by the left-to-right
+// leaf order of a recursive-bisection separator tree of the side×side grid
+// (alternating axis cuts — the Lipton–Tarjan-style preprocessing Theorem 4
+// assumes).  perm[x*side+y] = new index.
+func SeparatorOrderGrid(side int) []int {
+	perm := make([]int, side*side)
+	next := 0
+	var rec func(x0, x1, y0, y1 int)
+	rec = func(x0, x1, y0, y1 int) {
+		if x1-x0 == 1 && y1-y0 == 1 {
+			perm[x0*side+y0] = next
+			next++
+			return
+		}
+		if x1-x0 >= y1-y0 {
+			mid := (x0 + x1) / 2
+			rec(x0, mid, y0, y1)
+			rec(mid, x1, y0, y1)
+		} else {
+			mid := (y0 + y1) / 2
+			rec(x0, x1, y0, mid)
+			rec(x0, x1, mid, y1)
+		}
+	}
+	rec(0, side, 0, side)
+	return perm
+}
+
+// TreeEntries returns the adjacency (+self) entries of a complete binary
+// tree on n vertices in separator-friendly (in-order) numbering.  Trees
+// satisfy an O(1)-edge separator theorem (ε → 0).
+func TreeEntries(n int) []Entry {
+	var es []Entry
+	for u := 0; u < n; u++ {
+		es = append(es, Entry{u, u, 2})
+		l, r := 2*u+1, 2*u+2
+		if l < n {
+			es = append(es, Entry{u, l, -1}, Entry{l, u, -1})
+		}
+		if r < n {
+			es = append(es, Entry{u, r, -1}, Entry{r, u, -1})
+		}
+	}
+	return es
+}
+
+// BandEntries returns a banded matrix with the given half-bandwidth (a path
+// power graph: the friendliest separator structure).
+func BandEntries(n, halfBand int) []Entry {
+	var es []Entry
+	for i := 0; i < n; i++ {
+		for j := i - halfBand; j <= i+halfBand; j++ {
+			if j < 0 || j >= n {
+				continue
+			}
+			v := 1.0 / float64(1+abs(i-j))
+			es = append(es, Entry{i, j, v})
+		}
+	}
+	return es
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

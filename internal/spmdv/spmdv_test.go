@@ -1,0 +1,196 @@
+package spmdv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/hm"
+)
+
+func hostMultiply(n int, es []Entry, x []float64) []float64 {
+	y := make([]float64, n)
+	for _, e := range es {
+		y[e.I] += e.V * x[e.J]
+	}
+	return y
+}
+
+func runMOSpMDV(t *testing.T, s *core.Session, n int, es []Entry, seed int64) ([]float64, []float64) {
+	t.Helper()
+	a := FromEntries(s, n, es)
+	x := s.NewF64(n)
+	y := s.NewF64(n)
+	rng := rand.New(rand.NewSource(seed))
+	hx := make([]float64, n)
+	for i := range hx {
+		hx[i] = rng.Float64()*2 - 1
+		s.PokeF(x, i, hx[i])
+	}
+	s.Run(SpaceBound(n), func(c *core.Ctx) { MOSpMDV(c, a, x, y) })
+	got := make([]float64, n)
+	for i := range got {
+		got[i] = s.PeekF(y, i)
+	}
+	return got, hostMultiply(n, es, hx)
+}
+
+func TestMOSpMDVCorrect(t *testing.T) {
+	for _, mode := range []string{"sim", "native"} {
+		t.Run(mode, func(t *testing.T) {
+			var s *core.Session
+			if mode == "sim" {
+				s = core.NewSim(hm.MustMachine(hm.HM4(4, 4)))
+			} else {
+				s = core.NewNative(4)
+			}
+			for _, side := range []int{1, 2, 5, 16} {
+				n := side * side
+				got, want := runMOSpMDV(t, s, n, GridEntries(side, nil), int64(side))
+				for i := range want {
+					if math.Abs(got[i]-want[i]) > 1e-9 {
+						t.Fatalf("side=%d: y[%d] = %v, want %v", side, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSerialMatchesMO(t *testing.T) {
+	s := core.NewNative(2)
+	n := 64
+	es := BandEntries(n, 3)
+	a := FromEntries(s, n, es)
+	x := s.NewF64(n)
+	y1 := s.NewF64(n)
+	y2 := s.NewF64(n)
+	for i := 0; i < n; i++ {
+		s.PokeF(x, i, float64(i%7)-3)
+	}
+	s.Run(SpaceBound(n), func(c *core.Ctx) {
+		MOSpMDV(c, a, x, y1)
+		Serial(c, a, x, y2)
+	})
+	for i := 0; i < n; i++ {
+		if s.PeekF(y1, i) != s.PeekF(y2, i) {
+			t.Fatalf("y[%d]: MO %v vs serial %v", i, s.PeekF(y1, i), s.PeekF(y2, i))
+		}
+	}
+}
+
+func TestTreeAndBandCorrect(t *testing.T) {
+	s := core.NewNative(2)
+	for name, gen := range map[string]struct {
+		n  int
+		es []Entry
+	}{
+		"tree": {31, TreeEntries(31)},
+		"band": {50, BandEntries(50, 4)},
+	} {
+		got, want := runMOSpMDV(t, s, gen.n, gen.es, 3)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("%s: y[%d] = %v, want %v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSeparatorOrderGridIsPermutation(t *testing.T) {
+	for _, side := range []int{1, 2, 3, 8, 16} {
+		perm := SeparatorOrderGrid(side)
+		seen := make([]bool, side*side)
+		for _, p := range perm {
+			if p < 0 || p >= side*side || seen[p] {
+				t.Fatalf("side=%d: not a permutation", side)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestSeparatorOrderLocality: under the separator leaf order, most edges of
+// the grid connect nearby indices — the property Theorem 4's analysis uses.
+func TestSeparatorOrderLocality(t *testing.T) {
+	side := 32
+	perm := SeparatorOrderGrid(side)
+	near, far := 0, 0
+	for _, e := range GridEntries(side, perm) {
+		if e.I == e.J {
+			continue
+		}
+		if abs(e.I-e.J) <= 4*side {
+			near++
+		} else {
+			far++
+		}
+	}
+	if far*4 > near {
+		t.Fatalf("separator order leaves %d far edges vs %d near", far, near)
+	}
+}
+
+// TestTheorem4ReorderingHelps: with the separator reordering, SpM-DV on a
+// grid incurs significantly fewer cache misses than with a random vertex
+// order (the pathological case the reordering exists to avoid).
+func TestTheorem4ReorderingHelps(t *testing.T) {
+	side := 64 // n = 4096 > C1
+	n := side * side
+	run := func(perm []int) int64 {
+		s := core.NewSim(hm.MustMachine(hm.MC3(4)))
+		got, want := runMOSpMDVBench(s, n, GridEntries(side, perm))
+		_ = got
+		_ = want
+		return got
+	}
+	sep := run(SeparatorOrderGrid(side))
+	rng := rand.New(rand.NewSource(42))
+	rperm := rng.Perm(n)
+	random := run(rperm)
+	if sep*3 > random*2 {
+		t.Errorf("separator order L1 misses %d not well below random order %d", sep, random)
+	}
+}
+
+// runMOSpMDVBench runs one multiplication cold and returns L1 total misses.
+func runMOSpMDVBench(s *core.Session, n int, es []Entry) (int64, int64) {
+	a := FromEntries(s, n, es)
+	x := s.NewF64(n)
+	y := s.NewF64(n)
+	for i := 0; i < n; i++ {
+		s.PokeF(x, i, 1)
+	}
+	st := s.RunCold(SpaceBound(n), func(c *core.Ctx) { MOSpMDV(c, a, x, y) })
+	return st.Sim.Levels[0].TotalMisses, st.Steps
+}
+
+// TestTheorem4Speedup: parallel steps scale with cores.
+func TestTheorem4Speedup(t *testing.T) {
+	side := 48
+	n := side * side
+	es := GridEntries(side, SeparatorOrderGrid(side))
+	run := func(p int) int64 {
+		s := core.NewSim(hm.MustMachine(hm.MC3(p)))
+		_, steps := runMOSpMDVBench(s, n, es)
+		return steps
+	}
+	if p8, p1 := run(8), run(1); p8*3 > p1 {
+		t.Errorf("8-core SpM-DV %d steps vs 1-core %d: speedup < 3", p8, p1)
+	}
+}
+
+func TestFromEntriesLayout(t *testing.T) {
+	s := core.NewNative(1)
+	es := []Entry{{1, 2, 5}, {0, 1, 3}, {1, 0, 2}, {2, 2, 7}}
+	a := FromEntries(s, 3, es)
+	if s.PeekI(a.A0, 0) != 0 || s.PeekI(a.A0, 1) != 1 || s.PeekI(a.A0, 2) != 3 || s.PeekI(a.A0, 3) != 4 {
+		t.Fatalf("row pointers wrong: %d %d %d %d",
+			s.PeekI(a.A0, 0), s.PeekI(a.A0, 1), s.PeekI(a.A0, 2), s.PeekI(a.A0, 3))
+	}
+	p := s.PeekP(a.Av, 1)
+	if p.Key != 0 || math.Float64frombits(p.Val) != 2 {
+		t.Fatalf("row 1 not sorted by column: %+v", p)
+	}
+}

@@ -1,0 +1,236 @@
+package spms
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/hm"
+)
+
+func checkSorted(t *testing.T, s *core.Session, v core.Pairs) {
+	t.Helper()
+	for i := 1; i < v.N; i++ {
+		a, b := s.PeekP(v, i-1), s.PeekP(v, i)
+		if less(b, a) {
+			t.Fatalf("not sorted at %d: %+v > %+v", i, a, b)
+		}
+	}
+}
+
+func fill(s *core.Session, v core.Pairs, keys []uint64) {
+	for i, k := range keys {
+		s.PokeP(v, i, core.Pair{Key: k, Val: uint64(i)})
+	}
+}
+
+// checkPermutation verifies the output is a permutation of the input by
+// checking that every original (key, index) record is present.
+func checkPermutation(t *testing.T, s *core.Session, v core.Pairs, keys []uint64) {
+	t.Helper()
+	seen := make(map[core.Pair]bool, v.N)
+	for i := 0; i < v.N; i++ {
+		seen[s.PeekP(v, i)] = true
+	}
+	for i, k := range keys {
+		if !seen[core.Pair{Key: k, Val: uint64(i)}] {
+			t.Fatalf("record (%d,%d) lost", k, i)
+		}
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	for _, mode := range []string{"sim", "native"} {
+		t.Run(mode, func(t *testing.T) {
+			for _, n := range []int{1, 2, 10, 33, 100, 1000, 5000} {
+				var s *core.Session
+				if mode == "sim" {
+					s = core.NewSim(hm.MustMachine(hm.HM4(4, 4)))
+				} else {
+					s = core.NewNative(4)
+				}
+				rng := rand.New(rand.NewSource(int64(n)))
+				keys := make([]uint64, n)
+				for i := range keys {
+					keys[i] = rng.Uint64()
+				}
+				v := s.NewPairs(n)
+				fill(s, v, keys)
+				s.Run(SpaceBound(n), func(c *core.Ctx) { Sort(c, v) })
+				checkSorted(t, s, v)
+				checkPermutation(t, s, v, keys)
+			}
+		})
+	}
+}
+
+func TestSortAdversarialInputs(t *testing.T) {
+	s := core.NewNative(4)
+	n := 2000
+	cases := map[string]func(i int) uint64{
+		"sorted":    func(i int) uint64 { return uint64(i) },
+		"reverse":   func(i int) uint64 { return uint64(n - i) },
+		"allequal":  func(i int) uint64 { return 42 },
+		"twovalues": func(i int) uint64 { return uint64(i % 2) },
+		"oneoutlier": func(i int) uint64 {
+			if i == n/2 {
+				return 0
+			}
+			return 7
+		},
+		"sawtooth": func(i int) uint64 { return uint64(i % 17) },
+	}
+	for name, gen := range cases {
+		t.Run(name, func(t *testing.T) {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = gen(i)
+			}
+			v := s.NewPairs(n)
+			fill(s, v, keys)
+			s.Run(SpaceBound(n), func(c *core.Ctx) { Sort(c, v) })
+			checkSorted(t, s, v)
+			checkPermutation(t, s, v, keys)
+		})
+	}
+}
+
+func TestSortStableOrderProperty(t *testing.T) {
+	// The lexicographic (Key, Val) order with Val = original index makes the
+	// result exactly equal to a stable sort by key.
+	prop := func(seed int64, nn uint16) bool {
+		n := int(nn)%800 + 1
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = uint64(rng.Intn(20)) // heavy duplicates
+		}
+		s := core.NewNative(3)
+		v := s.NewPairs(n)
+		fill(s, v, keys)
+		s.Run(SpaceBound(n), func(c *core.Ctx) { Sort(c, v) })
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+		for i := 0; i < n; i++ {
+			p := s.PeekP(v, i)
+			if p.Key != keys[idx[i]] || p.Val != uint64(idx[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTheorem3MissShape: sorting incurs O((n/(q_i·B_i))·log_{C_i} n) misses
+// per level-i cache.  Absolute constants are machine-scale-dependent (the
+// BP glue allocates Θ(n) scratch words per level), so the check is on the
+// growth rate: doubling n must grow misses essentially linearly
+// (ratio <= ~2.6, versus 4 for a quadratic-miss algorithm), plus a loose
+// absolute cap.
+func TestTheorem3MissShape(t *testing.T) {
+	cfg := hm.MC3(4)
+	run := func(n int) int64 {
+		s := core.NewSim(hm.MustMachine(cfg))
+		rng := rand.New(rand.NewSource(11))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		v := s.NewPairs(n)
+		fill(s, v, keys)
+		return s.RunCold(SpaceBound(n), func(c *core.Ctx) { Sort(c, v) }).Sim.Levels[0].TotalMisses
+	}
+	m1 := run(1 << 13)
+	m2 := run(1 << 15)
+	// Quadrupling n should grow misses by ~4·log(4n)/log(n) <= 4.8; a
+	// per-comparison-miss algorithm would show ~4, an O(n²) one ~16.
+	if ratio := float64(m2) / float64(m1); ratio > 4.8 {
+		t.Errorf("L1 miss growth over 4x n = %.2f, want near-linear (<= 4.8)", ratio)
+	}
+	// Loose absolute sanity cap: well below one miss per record comparison.
+	words := int64(2 << 15)
+	b1 := cfg.Levels[0].Block
+	logCn := math.Log(float64(words)) / math.Log(float64(cfg.Levels[0].Capacity))
+	if cap := int64(120 * float64(words) / float64(b1) * logCn); m2 > cap {
+		t.Errorf("L1 total misses = %d > loose cap %d", m2, cap)
+	}
+}
+
+// TestTheorem3Speedup: parallel steps shrink with more cores.
+func TestTheorem3Speedup(t *testing.T) {
+	run := func(p int) int64 {
+		s := core.NewSim(hm.MustMachine(hm.MC3(p)))
+		n := 1 << 11
+		rng := rand.New(rand.NewSource(13))
+		keys := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64()
+		}
+		v := s.NewPairs(n)
+		fill(s, v, keys)
+		return s.RunCold(SpaceBound(n), func(c *core.Ctx) { Sort(c, v) }).Steps
+	}
+	if p8, p1 := run(8), run(1); p8*2 > p1 {
+		t.Errorf("8-core sort %d steps vs 1-core %d: speedup < 2", p8, p1)
+	}
+}
+
+func TestInsertionBase(t *testing.T) {
+	s := core.NewNative(1)
+	v := s.NewPairs(16)
+	for i := 0; i < 16; i++ {
+		s.PokeP(v, i, core.Pair{Key: uint64(16 - i), Val: uint64(i)})
+	}
+	s.Run(SpaceBound(16), func(c *core.Ctx) { insertion(c, v) })
+	checkSorted(t, s, v)
+}
+
+func TestIsqrt(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 1}, {3, 1}, {4, 2}, {99, 9}, {100, 10}, {101, 10}} {
+		if got := isqrt(c.n); got != c.want {
+			t.Errorf("isqrt(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFloatKeyOrderPreserving(t *testing.T) {
+	vals := []float64{math.Inf(-1), -1e300, -3.5, -1e-300, 0, 1e-300, 2.25, 1e300, math.Inf(1)}
+	for i := 1; i < len(vals); i++ {
+		if !(FloatKey(vals[i-1]) < FloatKey(vals[i])) {
+			t.Fatalf("FloatKey order broken between %v and %v", vals[i-1], vals[i])
+		}
+	}
+	for _, v := range vals {
+		if got := FloatFromKey(FloatKey(v)); got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestSortFloatKeys(t *testing.T) {
+	s := core.NewNative(3)
+	n := 1000
+	rng := rand.New(rand.NewSource(8))
+	fs := make([]float64, n)
+	v := s.NewPairs(n)
+	for i := range fs {
+		fs[i] = rng.NormFloat64() * 100
+		s.PokeP(v, i, core.Pair{Key: FloatKey(fs[i]), Val: uint64(i)})
+	}
+	s.Run(SpaceBound(n), func(c *core.Ctx) { Sort(c, v) })
+	sort.Float64s(fs)
+	for i := 0; i < n; i++ {
+		if got := FloatFromKey(s.PeekP(v, i).Key); got != fs[i] {
+			t.Fatalf("float sort wrong at %d: %v vs %v", i, got, fs[i])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package transpose implements MO-MT, the multicore-oblivious matrix
+// transposition algorithm of paper Figure 2, together with two baselines
+// used by the experiment harness: a naive parallel transpose and the
+// recursive cache-oblivious transpose (whose parallelisation has Θ(log n)
+// critical path, versus MO-MT's optimal O(B1) — the point made under
+// Theorem 1).
+package transpose
+
+import (
+	"fmt"
+
+	"oblivhm/internal/bitint"
+	"oblivhm/internal/core"
+)
+
+// SpaceBound returns the space bound of MO-MT on an n×n matrix: input,
+// output and the bit-interleaved intermediate.
+func SpaceBound(n int) int64 { return 3 * int64(n) * int64(n) }
+
+// MOMT transposes the n×n matrix A into AT using the CGC-scheduled
+// algorithm of Figure 2: two parallel loops routed through an intermediate
+// array I holding A in bit-interleaved (Morton) order.  A and AT must be
+// dense row-major (stride == cols) square matrices with n a power of two;
+// A and AT may not alias.
+func MOMT(c *core.Ctx, A, AT core.Mat, I core.F64) {
+	n := A.Rows
+	mustSquarePow2(A)
+	mustSquarePow2(AT)
+	if I.N < n*n {
+		I = c.Session().NewF64(n * n)
+	}
+	nn := n * n
+	// Step 1 [CGC]: I[k] = A[β⁻¹(k)] — store A in Morton order.
+	c.PFor(nn, 1, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i, j := bitint.Deinterleave(uint64(k))
+			I.Set(cc, k, A.At(cc, int(i), int(j)))
+		}
+	})
+	// Step 2 [CGC]: AT[i,j] = I[β(j,i)].
+	c.PFor(nn, 1, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i, j := k/n, k%n
+			AT.Set(cc, i, j, I.At(cc, int(bitint.Interleave(uint64(j), uint64(i)))))
+		}
+	})
+}
+
+// MOMTInPlaceRowFFT is the variant MO-FFT needs: it transposes A into AT
+// where both are given as flat vectors of complex numbers interpreted as
+// n×n row-major matrices.  The intermediate stores bit-interleaved complex
+// values (two words per element).
+func MOMTComplex(c *core.Ctx, a, at core.C128, n int, scratch core.C128) {
+	if a.N < n*n || at.N < n*n {
+		panic("transpose: complex views too small")
+	}
+	if scratch.N < n*n {
+		scratch = c.Session().NewC128(n * n)
+	}
+	nn := n * n
+	c.PFor(nn, 2, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i, j := bitint.Deinterleave(uint64(k))
+			scratch.Set(cc, k, a.At(cc, int(i)*n+int(j)))
+		}
+	})
+	c.PFor(nn, 2, func(cc *core.Ctx, lo, hi int) {
+		for k := lo; k < hi; k++ {
+			i, j := k/n, k%n
+			at.Set(cc, k, scratch.At(cc, int(bitint.Interleave(uint64(j), uint64(i)))))
+		}
+	})
+}
+
+// Naive is the baseline parallel transpose: a CGC loop over rows of AT
+// reading columns of A.  Column-order reads destroy spatial locality, so it
+// incurs Θ(n²) misses once n exceeds the cache size (vs MO-MT's n²/B).
+func Naive(c *core.Ctx, A, AT core.Mat) {
+	n := A.Rows
+	c.PFor(n, n, func(cc *core.Ctx, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				AT.Set(cc, i, j, A.At(cc, j, i))
+			}
+		}
+	})
+}
+
+// Recursive is the parallel cache-oblivious recursive transpose: split the
+// matrix into quadrants and recurse, swapping the off-diagonal quadrants.
+// Scheduled with SB (space bound 2m² per subproblem).  Its critical path is
+// Θ(log n), which is why the paper prefers the constant-depth MO-MT.
+func Recursive(c *core.Ctx, A, AT core.Mat) {
+	n := A.Rows
+	if n <= 8 {
+		for i := 0; i < n; i++ {
+			for j := 0; j < A.Cols; j++ {
+				AT.Set(c, j, i, A.At(c, i, j))
+			}
+		}
+		return
+	}
+	a11, a12, a21, a22 := A.Quads()
+	t11, t12, t21, t22 := AT.Quads()
+	space := int64(n) * int64(n) / 2 // 2*(n/2)^2 per recursive task
+	c.SpawnSB(
+		core.Task{Space: space, Fn: func(cc *core.Ctx) { Recursive(cc, a11, t11) }},
+		core.Task{Space: space, Fn: func(cc *core.Ctx) { Recursive(cc, a12, t21) }},
+		core.Task{Space: space, Fn: func(cc *core.Ctx) { Recursive(cc, a21, t12) }},
+		core.Task{Space: space, Fn: func(cc *core.Ctx) { Recursive(cc, a22, t22) }},
+	)
+}
+
+func mustSquarePow2(m core.Mat) {
+	if m.Rows != m.Cols || m.Stride != m.Cols || !bitint.IsPow2(m.Rows) {
+		panic(fmt.Sprintf("transpose: need dense square power-of-two matrix, got %dx%d stride %d",
+			m.Rows, m.Cols, m.Stride))
+	}
+}
+
+// RectWords transposes the r×cols row-major word matrix src into dst
+// (cols×r, row-major) with the cache-oblivious recursive schedule: split
+// the larger dimension in half and recurse.  It is the workhorse behind the
+// sorting algorithm's count-matrix reshapes, where r and cols are arbitrary
+// (not powers of two).
+func RectWords(c *core.Ctx, src, dst core.U64, r, cols int) {
+	rectWords(c, src, dst, 0, 0, r, cols, r, cols)
+}
+
+// rectWords transposes the (r0,c0)+(rr×cc) tile.  rs and cs are the full
+// matrix dimensions (src is rs×cs, dst is cs×rs).
+func rectWords(c *core.Ctx, src, dst core.U64, r0, c0, rr, cc, rs, cs int) {
+	if rr <= 8 && cc <= 8 {
+		for i := r0; i < r0+rr; i++ {
+			for j := c0; j < c0+cc; j++ {
+				dst.Set(c, j*rs+i, src.At(c, i*cs+j))
+			}
+		}
+		return
+	}
+	if rr >= cc {
+		h := rr / 2
+		rectWords(c, src, dst, r0, c0, h, cc, rs, cs)
+		rectWords(c, src, dst, r0+h, c0, rr-h, cc, rs, cs)
+	} else {
+		h := cc / 2
+		rectWords(c, src, dst, r0, c0, rr, h, rs, cs)
+		rectWords(c, src, dst, r0, c0+h, rr, cc-h, rs, cs)
+	}
+}
