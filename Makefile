@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test bench tables examples vet cover clean
+.PHONY: all test bench tables examples vet cover race fuzz clean
 
 all: vet test
 
@@ -33,6 +33,18 @@ examples:
 
 cover:
 	$(GO) test -cover ./internal/...
+
+# Race-check the engine and the golden-metrics layer (the packages with
+# real concurrency: strand goroutines and the native executor).
+race:
+	$(GO) test -race ./internal/core/... ./internal/harness/...
+
+# Short native fuzz runs of the SPMS sorter and the prefix scan against
+# their sequential specifications.  FUZZTIME=1m fuzz for longer runs.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -fuzz=FuzzSPMSSort -fuzztime=$(FUZZTIME) ./internal/spms
+	$(GO) test -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/scan
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -97,7 +97,7 @@ func (c *Ctx) PFor(n, elemWords int, body func(cc *Ctx, lo, hi int)) {
 	// on B_1 block boundaries (arrays are B_1-aligned).
 	cs := (n + nchunks - 1) / nchunks
 	cs = (cs + grain - 1) / grain * grain
-	jn := &join{}
+	jn := e.newJoin()
 	myChunk := -1
 	for j := 0; j*cs < n; j++ {
 		clo, chi := j*cs, (j+1)*cs
@@ -190,11 +190,16 @@ func (c *Ctx) SpawnSB(tasks ...Task) {
 		}
 		return
 	}
-	jn := &join{}
+	// A single forked task that the scheduler would start right here runs
+	// inline on the parent strand (same schedule, no strand round-trip).
+	if len(tasks) == 1 && c.inlineSB(tasks[0]) {
+		return
+	}
+	jn := e.newJoin()
 	for _, t := range tasks {
 		c.st.charge(1)
 		jn.pending++
-		p := &pending{space: t.Space, fn: t.Fn, jn: jn}
+		p := pending{space: t.Space, fn: t.Fn, jn: jn}
 		if e.flat {
 			// Ablation: ignore every level above 1 — spread over L1s.
 			slot := e.leastLoadedSlot(lam, 1)
@@ -272,7 +277,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 			t = lam.Level
 		}
 	}
-	jn := &join{}
+	jn := e.newJoin()
 	if !e.flat && t > i && m < len(e.m.Under(lam, i)) && i < lam.Level {
 		// Small fan-out (fewer subtasks than level-i caches): the paper's
 		// even-contiguous distribution at level t would pin recursive binary
@@ -286,7 +291,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 			jn.pending++
 			id := idx
 			slot := e.leastLoadedSlot(lam, i)
-			e.placeAnchored(slot, &pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }})
+			e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }})
 		}
 		c.waitJoin(jn)
 		return
@@ -313,7 +318,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		jn.pending++
 		id := idx
 		slot := e.slotOf(targets[idx*d/m])
-		e.placeAnchored(slot, &pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }})
+		e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }})
 	}
 	c.waitJoin(jn)
 }
@@ -337,11 +342,11 @@ func (c *Ctx) nativeSpawn(tasks []Task) {
 
 // waitJoin parks the calling strand until all children of jn have finished.
 func (c *Ctx) waitJoin(jn *join) {
-	if jn.pending == 0 {
-		return
+	if jn.pending > 0 {
+		jn.waiter = c.st
+		c.st.park()
 	}
-	jn.waiter = c.st
-	c.st.park()
+	c.s.eng.putJoin(jn)
 }
 
 // Session returns the owning session (for allocation from inside a task).

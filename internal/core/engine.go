@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"oblivhm/internal/hm"
 )
@@ -13,12 +14,41 @@ import (
 // cores proceed in lockstep rounds of `quantum` operations, realising the
 // model's "all cores run at the same rate" assumption.  Virtual parallel
 // time is the number of rounds times the quantum.
+//
+// # Fast path and the determinism contract
+//
+// The engine freezes its observable behaviour — Steps, every per-cache miss
+// counter, PlacedAt, Steals, and the trace event stream — while taking three
+// shortcuts on the hot path (DESIGN.md §7):
+//
+//   - Batched budgets: when a strand is the only runnable strand anywhere
+//     (e.nrun == 0 after it is popped), interleaving cannot be observed, so
+//     the grant carries an effectively unbounded number of whole rounds.
+//     The strand commits round boundaries locally in charge() — bumping the
+//     clock and refilling its quantum without a channel crossing — and the
+//     batch is truncated at the next boundary as soon as the strand makes
+//     anything else runnable (every such transition funnels through
+//     enqueue(), which sets batchAbort).  This is the adaptive quantum: one
+//     live strand runs in arbitrarily long grants, concurrent strands fall
+//     back to the exact per-round lockstep.
+//   - Pooling: strand objects, their channels, and their goroutines are
+//     recycled within a run.  A pooled goroutine parks on its resume channel
+//     between assignments and keeps its grown stack, which matters for the
+//     deeply recursive algorithms.
+//   - Active-core scan: the round loop walks a bitmask of cores with
+//     non-empty run queues (the machine model caps p at 64) instead of
+//     scanning every runq slice; with stealing enabled it falls back to the
+//     full scan because idle cores must get their stealFor turn.
+//
+// withReference() disables all of the above so tests can cross-check the
+// fast path against the seed schedule operation for operation.
 
 type yieldKind int
 
 const (
 	yBudget  yieldKind = iota // budget exhausted, still runnable
 	yBlocked                  // parked on a join or a cache queue
+	yRequeue                  // inline finish must reorder behind admitted strands
 	yDone                     // function returned (or panicked)
 )
 
@@ -29,6 +59,7 @@ type yieldMsg struct {
 
 // strand is one schedulable thread of the computation, pinned to a core.
 type strand struct {
+	eng     *engine
 	core    int
 	anchor  *hm.Cache // cache the strand's task is anchored at
 	fn      func(*Ctx)
@@ -36,7 +67,10 @@ type strand struct {
 	resume  chan int64
 	yield   chan yieldMsg
 	budget  int64
-	started bool
+	rounds  int64 // whole rounds left in the current batch grant
+	grant   int64 // batch rounds for the next resume, written by the engine
+	started bool  // this assignment has received its first grant
+	spawned bool  // a pooled goroutine is attached to the channels
 	done    bool
 
 	jn       *join      // join to signal on completion
@@ -56,17 +90,76 @@ type join struct {
 type cacheSlot struct {
 	cache  *hm.Cache
 	used   int64
-	queue  []*pending
+	queue  []pending
 	anchd  int // number of tasks currently anchored here
 	placed int // lifetime count, for the stats/tests
 }
 
-// pending is a task admitted to Q(λ) but not yet running.
+// pending is a task admitted to Q(λ) but not yet running.  Held by value in
+// the queue — spawning allocates nothing for it.
 type pending struct {
 	space int64
 	fn    func(*Ctx)
 	jn    *join
 }
+
+// deque is a per-core run queue: strands leave at the front, join at the
+// back, and a strand that exhausted its round budget is put back at the
+// front without reallocating (the seed engine re-sliced on every round).
+type deque struct {
+	buf  []*strand
+	head int
+}
+
+func (d *deque) size() int   { return len(d.buf) - d.head }
+func (d *deque) empty() bool { return len(d.buf) == d.head }
+
+func (d *deque) pushBack(st *strand) { d.buf = append(d.buf, st) }
+
+func (d *deque) pushFront(st *strand) {
+	if d.head > 0 {
+		d.head--
+		d.buf[d.head] = st
+		return
+	}
+	if len(d.buf) == 0 {
+		d.buf = append(d.buf, st) // reuses the retained capacity
+		return
+	}
+	d.buf = append([]*strand{st}, d.buf...)
+}
+
+func (d *deque) popFront() *strand {
+	if d.empty() {
+		return nil
+	}
+	st := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head++
+	if d.head == len(d.buf) {
+		d.buf, d.head = d.buf[:0], 0
+	}
+	return st
+}
+
+func (d *deque) popBack() *strand {
+	if d.empty() {
+		return nil
+	}
+	st := d.buf[len(d.buf)-1]
+	d.buf[len(d.buf)-1] = nil
+	d.buf = d.buf[:len(d.buf)-1]
+	if d.head == len(d.buf) {
+		d.buf, d.head = d.buf[:0], 0
+	}
+	return st
+}
+
+// batchRounds is the grant handed to a solo strand: effectively unbounded,
+// truncated by the first enqueue.  Bounded only to keep clock arithmetic
+// visibly safe (2^40 rounds of any quantum never overflows an int64 clock
+// driven by real work).
+const batchRounds = int64(1) << 40
 
 type engine struct {
 	s       *Session
@@ -77,13 +170,20 @@ type engine struct {
 	steals  int64
 	trace   *Trace
 
-	slots   [][]*cacheSlot // mirrors m.ByLevel
-	runq    [][]*strand    // per-core runnable queues
-	load    []int          // per-core count of live assigned strands
-	live    int            // strands not yet done
-	qd      int            // tasks sitting in cache queues
-	clock   int64
-	failure any
+	slots [][]*cacheSlot // mirrors m.ByLevel
+	runq  []deque        // per-core runnable queues
+	load  []int          // per-core count of live assigned strands
+	live  int            // strands not yet done
+	nrun  int            // strands currently sitting in run queues
+	qd    int            // tasks sitting in cache queues
+	clock int64
+
+	active     uint64 // bitmask of cores with non-empty run queues
+	batchAbort bool   // an enqueue happened during the outstanding grant
+	reference  bool   // disable the fast paths (seed-equivalent schedule)
+	pool       []*strand
+	freeJoins  []*join
+	failure    any
 }
 
 func newEngine(s *Session, m *hm.Machine) *engine {
@@ -95,38 +195,91 @@ func newEngine(s *Session, m *hm.Machine) *engine {
 			e.slots[i][j] = &cacheSlot{cache: c}
 		}
 	}
-	e.runq = make([][]*strand, m.Cores())
+	e.runq = make([]deque, m.Cores())
 	e.load = make([]int, m.Cores())
 	return e
 }
 
 func (e *engine) slotOf(c *hm.Cache) *cacheSlot { return e.slots[c.Level-1][c.Index] }
 
-// newStrand creates (but does not start) a strand pinned to core.
-func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx)) *strand {
-	st := &strand{
-		core:   core,
-		anchor: anchor,
-		fn:     fn,
-		resume: make(chan int64),
-		yield:  make(chan yieldMsg),
-		jn:     jn,
+// newJoin takes a join from the free list (joins churn at every fork site;
+// waitJoin recycles them once the last child has signalled).
+func (e *engine) newJoin() *join {
+	if n := len(e.freeJoins); n > 0 {
+		jn := e.freeJoins[n-1]
+		e.freeJoins = e.freeJoins[:n-1]
+		return jn
 	}
-	st.ctx = &Ctx{s: e.s, core: core, anchor: anchor, st: st}
+	return &join{}
+}
+
+func (e *engine) putJoin(jn *join) {
+	jn.pending, jn.waiter = 0, nil
+	e.freeJoins = append(e.freeJoins, jn)
+}
+
+// newStrand creates (but does not start) a strand pinned to core, reusing a
+// pooled strand (object, channels, goroutine) when one is free.
+func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx)) *strand {
+	var st *strand
+	if n := len(e.pool); n > 0 {
+		st = e.pool[n-1]
+		e.pool[n-1] = nil
+		e.pool = e.pool[:n-1]
+		st.core, st.anchor, st.fn, st.jn = core, anchor, fn, jn
+		st.reserved, st.resSpace = nil, 0
+		st.started, st.done = false, false
+		st.budget, st.rounds, st.grant = 0, 0, 0
+		st.ctx.core, st.ctx.anchor = core, anchor
+	} else {
+		// Cap-1 channels: the protocol is strict ping-pong (at most one
+		// message in flight per channel), and a buffered send lets the
+		// sender proceed straight to its own blocking receive without the
+		// unbuffered direct-handoff machinery.
+		st = &strand{
+			eng:    e,
+			core:   core,
+			anchor: anchor,
+			fn:     fn,
+			resume: make(chan int64, 1),
+			yield:  make(chan yieldMsg, 1),
+			jn:     jn,
+		}
+		st.ctx = &Ctx{s: e.s, core: core, anchor: anchor, st: st}
+	}
 	e.live++
 	e.load[core]++
 	return st
 }
 
-func (e *engine) enqueue(st *strand) { e.runq[st.core] = append(e.runq[st.core], st) }
+// enqueue appends st to its core's run queue.  This is the single point at
+// which anything becomes runnable, so it also truncates an outstanding solo
+// batch grant: the next round boundary the granted strand crosses yields to
+// the engine instead of continuing, restoring exact lockstep interleaving.
+func (e *engine) enqueue(st *strand) {
+	e.runq[st.core].pushBack(st)
+	e.nrun++
+	e.active |= 1 << uint(st.core)
+	e.batchAbort = true
+}
+
+// requeueFront puts a strand that exhausted its round budget back at the
+// front of its queue (run-to-completion order within the core).
+func (e *engine) requeueFront(st *strand) {
+	e.runq[st.core].pushFront(st)
+	e.nrun++
+	e.active |= 1 << uint(st.core)
+}
 
 func (e *engine) pop(core int) *strand {
-	q := e.runq[core]
-	if len(q) == 0 {
+	st := e.runq[core].popFront()
+	if st == nil {
 		return nil
 	}
-	st := q[0]
-	e.runq[core] = q[1:]
+	e.nrun--
+	if e.runq[core].empty() {
+		e.active &^= 1 << uint(core)
+	}
 	return st
 }
 
@@ -134,6 +287,11 @@ func (e *engine) pop(core int) *strand {
 func (e *engine) run(space int64, root func(*Ctx)) {
 	e.clock = 0
 	e.failure = nil
+	e.nrun, e.active = 0, 0
+	for i := range e.runq {
+		e.runq[i] = deque{}
+	}
+	defer e.drain()
 	anchor := e.m.ByLevel[e.m.SmallestFit(space)-1][0]
 	slot := e.slotOf(anchor)
 	st := e.newStrand(anchor.CoreLo, anchor, nil, root)
@@ -147,21 +305,43 @@ func (e *engine) run(space int64, root func(*Ctx)) {
 	e.loop()
 }
 
+// drain releases the pooled worker goroutines at the end of a run (they
+// would otherwise outlive the engine parked on their resume channels).
+// Strands still blocked when a run panics leak exactly as in the seed.
+func (e *engine) drain() {
+	for i, st := range e.pool {
+		if st.spawned {
+			close(st.resume)
+		}
+		e.pool[i] = nil
+	}
+	e.pool = e.pool[:0]
+}
+
 func (e *engine) loop() {
+	scanAll := e.steal || e.reference
 	for e.live > 0 {
 		progressed := false
-		for c := range e.runq {
-			budget := e.quantum
-			for budget > 0 {
-				st := e.pop(c)
-				if st == nil && e.steal {
-					st = e.stealFor(c)
+		if scanAll {
+			for c := range e.runq {
+				if e.runCore(c) {
+					progressed = true
 				}
-				if st == nil {
+			}
+		} else {
+			// Visit only cores with runnable strands, in core order.  The
+			// mask is re-read after every visited core, so cores activated
+			// mid-round by spawns still get their turn this round exactly as
+			// in the full scan.
+			for c := 0; c < len(e.runq); c++ {
+				m := e.active >> uint(c)
+				if m == 0 {
 					break
 				}
-				progressed = true
-				budget = e.runStrand(st, budget)
+				c += bits.TrailingZeros64(m)
+				if e.runCore(c) {
+					progressed = true
+				}
 			}
 		}
 		e.clock += e.quantum
@@ -174,25 +354,56 @@ func (e *engine) loop() {
 	}
 }
 
+// runCore gives core c its turn in the current round: up to quantum
+// operations shared by the strands of its queue in order.
+func (e *engine) runCore(c int) bool {
+	progressed := false
+	budget := e.quantum
+	for budget > 0 {
+		st := e.pop(c)
+		if st == nil && e.steal {
+			st = e.stealFor(c)
+		}
+		if st == nil {
+			break
+		}
+		progressed = true
+		budget = e.runStrand(st, budget)
+	}
+	return progressed
+}
+
 // runStrand grants st up to budget operations and handles its yield,
-// returning the unused budget.
+// returning the unused budget.  When nothing else is runnable the grant is
+// extended with batchRounds whole rounds (see the package comment).
 func (e *engine) runStrand(st *strand, budget int64) int64 {
+	st.grant = 0
+	if e.nrun == 0 && !e.reference {
+		st.grant = batchRounds
+	}
+	e.batchAbort = false
 	if !st.started {
 		st.started = true
-		st.budget = budget
-		go st.main()
-	} else {
-		st.resume <- budget
+		if !st.spawned {
+			st.spawned = true
+			go st.main()
+		}
 	}
+	st.resume <- budget
 	msg := <-st.yield
 	switch msg.kind {
 	case yBudget:
 		// Exhausted its grant; runnable again next round (front of queue
 		// preserves run-to-completion order within the core).
-		e.runq[st.core] = append([]*strand{st}, e.runq[st.core]...)
+		e.requeueFront(st)
 		return 0
 	case yBlocked:
 		return st.budget // leftover
+	case yRequeue:
+		// An inline finish admitted work onto this strand's core; the seed
+		// schedule runs it first, so the strand rejoins at the back.
+		e.enqueue(st)
+		return st.budget
 	case yDone:
 		if msg.panicked != nil && e.failure == nil {
 			e.failure = msg.panicked
@@ -204,7 +415,7 @@ func (e *engine) runStrand(st *strand, budget int64) int64 {
 }
 
 // finish handles strand completion: join signalling, space release, queue
-// admission.
+// admission, and recycling the strand into the pool.
 func (e *engine) finish(st *strand) {
 	st.done = true
 	e.emit(EvDone, st.core, 0, 0, 0)
@@ -223,6 +434,8 @@ func (e *engine) finish(st *strand) {
 			e.enqueue(w)
 		}
 	}
+	st.fn, st.jn = nil, nil
+	e.pool = append(e.pool, st)
 }
 
 // admit starts queued tasks at slot while capacity allows (paper: multiple
@@ -233,6 +446,7 @@ func (e *engine) admit(slot *cacheSlot) {
 		if slot.used+p.space > slot.cache.Cap*slot.cache.Block && slot.anchd > 0 {
 			return
 		}
+		slot.queue[0] = pending{}
 		slot.queue = slot.queue[1:]
 		e.qd--
 		e.startAnchored(slot, p)
@@ -241,7 +455,7 @@ func (e *engine) admit(slot *cacheSlot) {
 
 // startAnchored reserves space and creates the strand for task p anchored
 // at slot's cache, on the least-loaded core in its shadow.
-func (e *engine) startAnchored(slot *cacheSlot, p *pending) {
+func (e *engine) startAnchored(slot *cacheSlot, p pending) {
 	slot.used += p.space
 	slot.anchd++
 	slot.placed++
@@ -255,7 +469,7 @@ func (e *engine) startAnchored(slot *cacheSlot, p *pending) {
 
 // placeAnchored either starts task p at slot immediately (if it fits) or
 // queues it in Q(λ).
-func (e *engine) placeAnchored(slot *cacheSlot, p *pending) {
+func (e *engine) placeAnchored(slot *cacheSlot, p pending) {
 	capWords := slot.cache.Cap * slot.cache.Block
 	if len(slot.queue) == 0 && (slot.used+p.space <= capWords || slot.anchd == 0) {
 		e.startAnchored(slot, p)
@@ -264,6 +478,13 @@ func (e *engine) placeAnchored(slot *cacheSlot, p *pending) {
 	slot.queue = append(slot.queue, p)
 	e.qd++
 	e.emit(EvQueue, -1, slot.cache.Level, slot.cache.Index, p.space)
+}
+
+// startsNow reports whether placeAnchored(slot, space) would start the task
+// immediately rather than queueing it in Q(λ).
+func (e *engine) startsNow(slot *cacheSlot, space int64) bool {
+	capWords := slot.cache.Cap * slot.cache.Block
+	return len(slot.queue) == 0 && (slot.used+space <= capWords || slot.anchd == 0)
 }
 
 // leastLoadedCore picks the core with the fewest live strands in the shadow
@@ -291,32 +512,154 @@ func (e *engine) leastLoadedSlot(lambda *hm.Cache, j int) *cacheSlot {
 	return best
 }
 
-// strand goroutine body.
+// strand goroutine body: a pooled worker loop.  Each iteration runs one
+// assignment; between assignments the goroutine parks on the resume channel
+// (keeping its grown stack), and exits when the engine closes the channel.
 func (st *strand) main() {
-	defer func() {
-		msg := yieldMsg{kind: yDone}
-		if r := recover(); r != nil {
-			msg.panicked = r
+	for {
+		budget, ok := <-st.resume
+		if !ok {
+			return
 		}
-		st.yield <- msg
-	}()
-	st.fn(st.ctx)
+		st.budget = budget
+		st.rounds = st.grant
+		var failed any
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					failed = r
+				}
+			}()
+			st.fn(st.ctx)
+		}()
+		st.yield <- yieldMsg{kind: yDone, panicked: failed}
+	}
 }
 
-// charge consumes n operations of the strand's budget, yielding to the
-// engine when the quantum is exhausted.
+// recv blocks for the next grant and adopts its batch extension.
+func (st *strand) recv() {
+	st.budget = <-st.resume
+	st.rounds = st.grant
+}
+
+// charge consumes n operations of the strand's budget.  The decrement is
+// the whole fast path and inlines into LoadU/StoreU/Tick; quantum
+// exhaustion goes through chargeSlow.
 func (st *strand) charge(n int64) {
 	st.budget -= n
 	if st.budget <= 0 {
+		st.chargeSlow()
+	}
+}
+
+// chargeSlow crosses round boundaries at quantum exhaustion: either locally
+// — batch grant still open and nothing else runnable — or by yielding to
+// the engine.  Overshoot is forgiven at every boundary exactly as when the
+// engine re-grants: the new budget is a full quantum, not quantum minus the
+// overdraft.
+func (st *strand) chargeSlow() {
+	for st.budget <= 0 {
+		e := st.eng
+		if st.rounds > 0 && !e.batchAbort {
+			st.rounds--
+			e.clock += e.quantum
+			st.budget = e.quantum
+			continue
+		}
 		st.yield <- yieldMsg{kind: yBudget}
-		st.budget = <-st.resume
+		st.recv()
 	}
 }
 
 // park blocks the strand until the engine resumes it (join complete).
 func (st *strand) park() {
 	st.yield <- yieldMsg{kind: yBlocked}
-	st.budget = <-st.resume
+	st.recv()
+}
+
+// requeue yields the strand to the back of its core's queue, behind strands
+// the inline finish admitted, and blocks until re-granted.
+func (st *strand) requeue() {
+	st.yield <- yieldMsg{kind: yRequeue}
+	st.recv()
+}
+
+// ---- inline leaf spawns ----
+
+// inlineSB runs the single task t of a SpawnSB inline on the parent strand
+// when the scheduler would have placed it on the parent's own core as the
+// next strand to run, reporting whether it did.  The schedule is provably
+// unchanged: with the parent's run queue empty, the seed engine would park
+// the parent and immediately grant the child the parent's leftover budget on
+// the same core; the child is never stealable (stealing disables this path),
+// and on completion the parent either continues directly (queue still
+// empty — the seed would pop it right back) or requeues itself behind
+// whatever arrived (matching the seed's admit-then-wake order).  All
+// engine accounting the child would have caused — live/load, reservation,
+// placed counts, trace events, the charge(1) spawn cost — is replicated.
+func (c *Ctx) inlineSB(t Task) bool {
+	e := c.s.eng
+	if e.reference || e.steal || !e.runq[c.core].empty() {
+		return false
+	}
+	lam := c.anchor
+	if e.flat {
+		return c.inlineAnchored(e.leastLoadedSlot(lam, 1), t)
+	}
+	if t.Space <= e.m.Cfg.Levels[lam.Level-2].Capacity {
+		j := e.m.SmallestFit(t.Space)
+		return c.inlineAnchored(e.leastLoadedSlot(lam, j), t)
+	}
+	// Nested at λ: no reservation, same anchor.
+	if e.leastLoadedCore(lam) != c.core {
+		return false
+	}
+	c.st.charge(1)
+	e.live++
+	e.load[c.core]++
+	e.emit(EvNested, c.core, lam.Level, lam.Index, t.Space)
+	t.Fn(c) // child anchor and core equal the parent's
+	e.emit(EvDone, c.core, 0, 0, 0)
+	e.live--
+	e.load[c.core]--
+	c.inlineRejoin()
+	return true
+}
+
+// inlineAnchored is the anchored half of inlineSB: reserve space at slot,
+// run the task under the child anchor, release and admit.
+func (c *Ctx) inlineAnchored(slot *cacheSlot, t Task) bool {
+	e := c.s.eng
+	if !e.startsNow(slot, t.Space) || e.leastLoadedCore(slot.cache) != c.core {
+		return false
+	}
+	c.st.charge(1)
+	slot.used += t.Space
+	slot.anchd++
+	slot.placed++
+	e.live++
+	e.load[c.core]++
+	e.emit(EvAnchor, c.core, slot.cache.Level, slot.cache.Index, t.Space)
+	cc := &Ctx{s: c.s, core: c.core, anchor: slot.cache, st: c.st}
+	t.Fn(cc)
+	e.emit(EvDone, c.core, 0, 0, 0)
+	e.live--
+	e.load[c.core]--
+	slot.used -= t.Space
+	slot.anchd--
+	e.admit(slot)
+	c.inlineRejoin()
+	return true
+}
+
+// inlineRejoin restores the seed's post-join order: if the inline child's
+// completion made anything runnable on this core (admitted tasks), the seed
+// engine would run it before re-granting the joining parent, so the parent
+// yields to the back of the queue.
+func (c *Ctx) inlineRejoin() {
+	if !c.s.eng.runq[c.core].empty() {
+		c.st.requeue()
+	}
 }
 
 // PlacedAt returns how many tasks have been anchored at the given cache
@@ -345,21 +688,24 @@ func (s *Session) PlacedAt(level int) int {
 func (e *engine) stealFor(c int) *strand {
 	victim, best := -1, 1 // need at least 2 queued to be worth stealing
 	for v := range e.runq {
-		if len(e.runq[v]) > best {
-			victim, best = v, len(e.runq[v])
+		if e.runq[v].size() > best {
+			victim, best = v, e.runq[v].size()
 		}
 	}
 	if victim < 0 {
 		return nil
 	}
-	q := e.runq[victim]
-	st := q[len(q)-1]
+	st := e.runq[victim].buf[len(e.runq[victim].buf)-1]
 	if st.started {
 		// Mid-execution strands keep their core (their stack references the
 		// old ctx); leave the queue untouched.
 		return nil
 	}
-	e.runq[victim] = q[:len(q)-1]
+	e.runq[victim].popBack()
+	e.nrun--
+	if e.runq[victim].empty() {
+		e.active &^= 1 << uint(victim)
+	}
 	e.load[victim]--
 	e.load[c]++
 	st.core = c
@@ -375,4 +721,17 @@ func (s *Session) Steals() int64 {
 		return 0
 	}
 	return s.eng.steals
+}
+
+// withReference disables the engine fast paths — batched solo grants,
+// inline leaf spawns, and the active-core scan — so that the schedule is
+// the seed engine's, decision for decision.  Pooling stays on (it cannot
+// affect the schedule).  Used by the equivalence tests to prove the fast
+// path honours the determinism contract on arbitrary workloads.
+func withReference() Opt {
+	return func(s *Session) {
+		if s.eng != nil {
+			s.eng.reference = true
+		}
+	}
 }

@@ -1,0 +1,120 @@
+package core
+
+// Admission-discipline regression tests: the space-bound scheduler must
+// serialise tasks whose combined space exceeds a cache's capacity (queueing
+// them in Q(λ) and admitting as reservations release), and the engine must
+// detect — with a stable, descriptive panic — configurations that can never
+// make progress.
+
+import (
+	"fmt"
+	"testing"
+
+	"oblivhm/internal/hm"
+)
+
+// TestAdmissionSerialises: 8 tasks each reserving a full L2 on a machine
+// with only 2 L2 caches.  At most two can hold reservations at once; the
+// rest must wait in the anchor queues and all must eventually complete.
+func TestAdmissionSerialises(t *testing.T) {
+	cfg := hm.HM4(2, 2) // 4 cores, 2 L2s
+	c2 := cfg.Levels[1].Capacity
+	m := hm.MustMachine(cfg)
+	s := NewSim(m)
+	const k = 8
+	v := s.NewI64(k)
+	s.Run(c2*2, func(c *Ctx) {
+		var tasks []Task
+		for i := 0; i < k; i++ {
+			i := i
+			tasks = append(tasks, Task{Space: c2, Fn: func(cc *Ctx) {
+				cc.StoreI(v.Base+Addr(i), int64(i)+100)
+			}})
+		}
+		c.SpawnSB(tasks...)
+	})
+	for i := 0; i < k; i++ {
+		if got := s.PeekI(v, i); got != int64(i)+100 {
+			t.Errorf("task %d never ran: v[%d] = %d", i, i, got)
+		}
+	}
+	if got := s.PlacedAt(2); got != k {
+		t.Errorf("PlacedAt(2) = %d, want %d (every task anchored at an L2)", got, k)
+	}
+}
+
+// TestAdmissionSerialisesUnderPressureCompletes is the same discipline
+// driven harder: tasks fork recursively while holding reservations, so
+// admits happen from finish paths deep in the round loop.
+func TestAdmissionSerialisesUnderPressureCompletes(t *testing.T) {
+	cfg := hm.HM4(2, 2)
+	c2 := cfg.Levels[1].Capacity
+	m := hm.MustMachine(cfg)
+	s := NewSim(m)
+	total := 0
+	s.Run(c2*4, func(c *Ctx) {
+		var tasks []Task
+		for i := 0; i < 6; i++ {
+			tasks = append(tasks, Task{Space: c2, Fn: func(cc *Ctx) {
+				cc.SpawnSB(
+					Task{Space: c2 / 4, Fn: func(c2x *Ctx) { c2x.Tick(10) }},
+					Task{Space: c2 / 4, Fn: func(c2x *Ctx) { c2x.Tick(10) }},
+				)
+				total++ // strands run one at a time; no data race
+			}})
+		}
+		c.SpawnSB(tasks...)
+	})
+	if total != 6 {
+		t.Fatalf("completed %d of 6 reservation-holding tasks", total)
+	}
+}
+
+// TestOversizeTaskStillAdmitted pins the escape hatch that keeps the
+// discipline deadlock-free: a task bigger than its anchor cache is admitted
+// anyway once the cache is otherwise empty (slot.anchd == 0), rather than
+// waiting forever for space that cannot exist.
+func TestOversizeTaskStillAdmitted(t *testing.T) {
+	cfg := hm.HM4(2, 2)
+	c1 := cfg.Levels[0].Capacity
+	m := hm.MustMachine(cfg)
+	s := NewSim(m, WithFlatScheduler()) // flat: everything anchors at an L1
+	ran := false
+	s.Run(1<<16, func(c *Ctx) {
+		c.SpawnSB(Task{Space: c1 * 2, Fn: func(cc *Ctx) { ran = true }})
+	})
+	if !ran {
+		t.Fatal("oversize task never admitted")
+	}
+}
+
+// TestDeadlockPanicMessage pins the engine's stuck-configuration report.
+// The public scheduling discipline is deadlock-free by construction (the
+// nested fallback and the oversize escape hatch above), so the detector is
+// a backstop against engine bugs; this test fabricates the stuck state
+// directly — a queued task behind a reservation whose holder never
+// finishes — and asserts the diagnostic it would print.
+func TestDeadlockPanicMessage(t *testing.T) {
+	m := hm.MustMachine(hm.HM4(2, 2))
+	s := NewSim(m)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("stuck configuration did not panic")
+		}
+		want := "core: deadlock: 1 live strands all blocked, 1 queued tasks"
+		if got := fmt.Sprint(r); got != want {
+			t.Fatalf("panic message = %q, want %q", got, want)
+		}
+	}()
+	s.Run(1<<12, func(c *Ctx) {
+		e := s.eng
+		slot := e.slotOf(m.CacheOf(0, 1))
+		slot.used = slot.cache.Cap * slot.cache.Block // phantom reservation
+		slot.anchd = 1
+		jn := e.newJoin()
+		jn.pending = 1
+		e.placeAnchored(slot, pending{space: 1, jn: jn, fn: func(*Ctx) {}})
+		c.waitJoin(jn) // parks behind a task that can never be admitted
+	})
+}

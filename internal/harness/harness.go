@@ -57,6 +57,14 @@ type MOResult struct {
 	Steps   int64
 	Work    int64 // total accesses
 	Levels  []LevelReport
+
+	// PlacedAt[i] is the number of tasks anchored at cache level i+1 and
+	// Steals the number of strand migrations (stealing extension).  Together
+	// with Steps and the per-level MaxMisses they form the engine's
+	// determinism contract: the golden-metrics tests pin all four byte for
+	// byte across engine rewrites.
+	PlacedAt []int
+	Steals   int64
 }
 
 func (r MOResult) String() string {
@@ -96,7 +104,10 @@ func RunMOOnConfig(algo string, cfg hm.Config, n int, opts ...core.Opt) (MOResul
 	if err != nil {
 		return MOResult{}, err
 	}
-	res := MOResult{Algo: algo, Machine: cfg.Name, N: n, Steps: st.Steps, Work: st.Sim.Accesses}
+	res := MOResult{Algo: algo, Machine: cfg.Name, N: n, Steps: st.Steps, Work: st.Sim.Accesses, Steals: s.Steals()}
+	for lv := 1; lv <= len(cfg.Levels); lv++ {
+		res.PlacedAt = append(res.PlacedAt, s.PlacedAt(lv))
+	}
 	for _, l := range st.Sim.Levels {
 		spec := cfg.Levels[l.Level-1]
 		q := cfg.CachesAt(l.Level)

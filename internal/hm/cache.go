@@ -24,16 +24,39 @@ type Cache struct {
 	Stats CacheStats
 
 	// LRU bookkeeping: slot-indexed doubly linked lists (one per set) plus
-	// a block->slot map.  Set s owns slots [s*ways, (s+1)*ways).
-	slots  []slot
-	index  map[int64]int32
-	head   []int32 // per-set most recently used
-	tail   []int32 // per-set least recently used
-	free   []int32 // per-set free-slot list head, chained through next
-	nsets  int64
-	ways   int64
-	inited bool
+	// a block->slot index.  Set s owns slots [s*ways, (s+1)*ways).  The
+	// index is a dense slice keyed by block id (block ids are bounded by
+	// heap/Block, so it stays small) — this is the simulator's hottest
+	// lookup and a map here dominated whole-run profiles.
+	slots   []slot
+	index   []int32 // block id -> slot, nilSlot when absent
+	head    []int32 // per-set most recently used
+	tail    []int32 // per-set least recently used
+	free    []int32 // per-set free-slot list head, chained through next
+	nsets   int64
+	setMask int64 // nsets-1 when nsets is a power of two, else -1
+	ways    int64
+
+	// Timestamp LRU (small sets): recency is a per-slot stamp and the
+	// eviction victim is the set's minimum stamp — exactly the linked-list
+	// tail — but a hit costs one store instead of a list reposition.
+	// Eviction pays an O(ways) victim scan, which is fine precisely when
+	// sets are small (evictions are as rare as misses).  stamp == nil
+	// selects the linked-list implementation for large fully-associative
+	// caches, where the scan would dominate miss-heavy runs.
+	stamp []int64
+	tick  int64
+
+	resident int64 // blocks currently held
+	inited   bool
 }
+
+// stampLRUMax bounds the per-eviction victim scan of timestamp LRU: caches
+// whose sets are larger keep the linked-list implementation.  64 covers the
+// L1s (touched on every access, tiny scan) while miss-heavy upper levels,
+// where an O(set) scan per eviction would outweigh the cheap touches, stay
+// on the O(1)-eviction list.
+const stampLRUMax = 64
 
 type slot struct {
 	block      int64
@@ -62,11 +85,34 @@ func (c *Cache) init() {
 		c.ways = c.Cap
 	}
 	c.nsets = c.Cap / c.ways
-	c.slots = make([]slot, c.Cap)
-	c.index = make(map[int64]int32, c.Cap*2)
-	c.head = make([]int32, c.nsets)
-	c.tail = make([]int32, c.nsets)
-	c.free = make([]int32, c.nsets)
+	c.setMask = -1
+	if c.nsets&(c.nsets-1) == 0 {
+		c.setMask = c.nsets - 1
+	}
+	// Arrays are retained across Flush (see there) and reused when the
+	// geometry is unchanged, so repeated cold runs allocate nothing: the
+	// grown index keeps its final size and is re-filled with nilSlot.
+	if int64(len(c.slots)) != c.Cap {
+		c.slots = make([]slot, c.Cap)
+	}
+	for i := range c.index {
+		c.index[i] = nilSlot
+	}
+	if c.ways <= stampLRUMax {
+		if int64(len(c.stamp)) != c.Cap {
+			c.stamp = make([]int64, c.Cap)
+			c.tick = 1
+		}
+		// Reused stamps stay monotonic (tick is not reset), so stale
+		// values can never shadow fresh ones.
+	} else {
+		c.stamp = nil
+	}
+	if int64(len(c.head)) != c.nsets {
+		c.head = make([]int32, c.nsets)
+		c.tail = make([]int32, c.nsets)
+		c.free = make([]int32, c.nsets)
+	}
 	for s := int64(0); s < c.nsets; s++ {
 		lo, hi := s*c.ways, (s+1)*c.ways
 		for i := lo; i < hi; i++ {
@@ -77,15 +123,44 @@ func (c *Cache) init() {
 		c.free[s] = int32(lo)
 		c.head[s], c.tail[s] = nilSlot, nilSlot
 	}
+	c.resident = 0
 	c.inited = true
 }
 
 // setOf maps a block id to its set.
 func (c *Cache) setOf(b int64) int64 {
-	if c.nsets <= 1 {
-		return 0
+	if c.setMask >= 0 {
+		return b & c.setMask
 	}
 	return b % c.nsets
+}
+
+// lookup returns the slot holding block b, or nilSlot.
+func (c *Cache) lookup(b int64) int32 {
+	if b >= int64(len(c.index)) {
+		return nilSlot
+	}
+	return c.index[b]
+}
+
+// setIndex records block b in slot s, growing the dense index on demand.
+func (c *Cache) setIndex(b int64, s int32) {
+	if b >= int64(len(c.index)) {
+		n := int64(len(c.index)) * 2
+		if n < b+1 {
+			n = b + 1
+		}
+		if n < 1024 {
+			n = 1024
+		}
+		grown := make([]int32, n)
+		copy(grown, c.index)
+		for i := len(c.index); i < len(grown); i++ {
+			grown[i] = nilSlot
+		}
+		c.index = grown
+	}
+	c.index[b] = s
 }
 
 // Contains reports whether block b is resident (no LRU update, no counters).
@@ -93,12 +168,19 @@ func (c *Cache) Contains(b int64) bool {
 	if !c.inited {
 		return false
 	}
-	_, ok := c.index[b]
-	return ok
+	return c.lookup(b) != nilSlot
 }
+
+// Resident returns the number of blocks currently held (always <= Cap).
+func (c *Cache) Resident() int64 { return c.resident }
 
 // touch moves an already-resident slot to its set's MRU position.
 func (c *Cache) touch(set int64, s int32) {
+	if c.stamp != nil {
+		c.stamp[s] = c.tick
+		c.tick++
+		return
+	}
 	if c.head[set] == s {
 		return
 	}
@@ -131,7 +213,7 @@ func (c *Cache) access(b int64, write bool) bool {
 	if !c.inited {
 		c.init()
 	}
-	if s, ok := c.index[b]; ok {
+	if s := c.lookup(b); s != nilSlot {
 		c.Stats.Hits++
 		c.touch(c.setOf(b), s)
 		if write {
@@ -154,21 +236,46 @@ func (c *Cache) install(b int64, dirty bool) {
 	if c.free[set] != nilSlot {
 		s = c.free[set]
 		c.free[set] = c.slots[s].next
+		c.resident++
+	} else if c.stamp != nil {
+		// Evict the set's LRU: the minimum stamp (scan only runs when the
+		// set is full, i.e. once per miss).
+		lo, hi := set*c.ways, (set+1)*c.ways
+		s = int32(lo)
+		min := c.stamp[lo]
+		for i := lo + 1; i < hi; i++ {
+			if c.stamp[i] < min {
+				min, s = c.stamp[i], int32(i)
+			}
+		}
+		victim := &c.slots[s]
+		c.Stats.Evictions++
+		if victim.dirty {
+			c.Stats.Writebacks++
+		}
+		c.index[victim.block] = nilSlot
 	} else {
-		// Evict the set's LRU.
+		// Evict the set's LRU: the list tail.
 		s = c.tail[set]
 		victim := &c.slots[s]
 		c.Stats.Evictions++
 		if victim.dirty {
 			c.Stats.Writebacks++
 		}
-		delete(c.index, victim.block)
+		c.index[victim.block] = nilSlot
 		c.tail[set] = victim.prev
 		if c.tail[set] != nilSlot {
 			c.slots[c.tail[set]].next = nilSlot
 		} else {
 			c.head[set] = nilSlot
 		}
+	}
+	if c.stamp != nil {
+		c.slots[s] = slot{block: b, prev: nilSlot, next: nilSlot, dirty: dirty}
+		c.stamp[s] = c.tick
+		c.tick++
+		c.setIndex(b, s)
+		return
 	}
 	c.slots[s] = slot{block: b, prev: nilSlot, next: c.head[set], dirty: dirty}
 	if c.head[set] != nilSlot {
@@ -178,7 +285,7 @@ func (c *Cache) install(b int64, dirty bool) {
 	if c.tail[set] == nilSlot {
 		c.tail[set] = s
 	}
-	c.index[b] = s
+	c.setIndex(b, s)
 }
 
 // invalidate removes block b if resident, counting an invalidation.  A dirty
@@ -188,8 +295,8 @@ func (c *Cache) invalidate(b int64) {
 	if !c.inited {
 		return
 	}
-	s, ok := c.index[b]
-	if !ok {
+	s := c.lookup(b)
+	if s == nilSlot {
 		return
 	}
 	set := c.setOf(b)
@@ -198,7 +305,15 @@ func (c *Cache) invalidate(b int64) {
 	if sl.dirty {
 		c.Stats.Writebacks++
 	}
-	delete(c.index, b)
+	c.index[b] = nilSlot
+	if c.stamp != nil {
+		sl.next = c.free[set]
+		sl.prev = nilSlot
+		sl.dirty = false
+		c.free[set] = s
+		c.resident--
+		return
+	}
 	if sl.prev != nilSlot {
 		c.slots[sl.prev].next = sl.next
 	} else {
@@ -212,14 +327,15 @@ func (c *Cache) invalidate(b int64) {
 	sl.next = c.free[set]
 	sl.prev = nilSlot
 	c.free[set] = s
+	c.resident--
 }
 
 // Flush empties the cache without counting traffic (used between runs).
+// The backing arrays are kept and recycled by the next init, so a flush
+// costs O(1) and repeated cold runs are allocation-free.
 func (c *Cache) Flush() {
 	c.inited = false
-	c.slots = nil
-	c.index = nil
-	c.head, c.tail, c.free = nil, nil, nil
+	c.resident = 0
 }
 
 // ResetStats zeroes the traffic counters, keeping contents.

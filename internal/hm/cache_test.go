@@ -83,7 +83,7 @@ func TestCacheNeverExceedsCapacity(t *testing.T) {
 		for k := 0; k < 2000; k++ {
 			b := int64(rng.Intn(200))
 			c.access(b, rng.Intn(2) == 0)
-			if int64(len(c.index)) > capBlocks {
+			if c.Resident() > capBlocks {
 				return false
 			}
 			if rng.Intn(10) == 0 {

@@ -3,6 +3,7 @@ package hm
 import (
 	"fmt"
 	"math"
+	"math/bits"
 )
 
 // Addr is a word address in the machine's shared memory.
@@ -25,9 +26,20 @@ type Machine struct {
 	mem  []uint64
 	heap Addr
 
+	// shift[i-1] is log2 of the level-i block size (blocks are validated to
+	// be powers of two), so address->block on the access path is a shift.
+	shift []uint
+
 	// holders[i-1] maps a level-i block id to the bitmask of level-i cache
 	// indices holding it, to make coherence invalidation O(h) per write.
-	holders []map[int64]uint64
+	// Dense slices keyed by block id, grown on demand; a zero mask means no
+	// off-path copies.  nil when the config disables coherence.
+	holders [][]uint64
+
+	// ownMask[c][i-1] is the holder bit of the level-i cache on core c's
+	// path, precomputed so the per-write invalidation scan avoids the
+	// path pointer chase.
+	ownMask [][]uint64
 
 	// Steps is advanced by the engine (virtual time); kept here so stats
 	// snapshots carry both time and traffic.
@@ -73,10 +85,18 @@ func NewMachine(cfg Config) (*Machine, error) {
 			m.path[c][i-1] = m.ByLevel[i-1][c/cfg.CoresUnder(i)]
 		}
 	}
+	m.shift = make([]uint, h1)
+	for i := 0; i < h1; i++ {
+		m.shift[i] = uint(bits.TrailingZeros64(uint64(cfg.Levels[i].Block)))
+	}
 	if cfg.Coherence {
-		m.holders = make([]map[int64]uint64, h1)
-		for i := range m.holders {
-			m.holders[i] = make(map[int64]uint64)
+		m.holders = make([][]uint64, h1)
+		m.ownMask = make([][]uint64, p)
+		for c := 0; c < p; c++ {
+			m.ownMask[c] = make([]uint64, h1)
+			for i := 0; i < h1; i++ {
+				m.ownMask[c][i] = 1 << uint(m.path[c][i].Index)
+			}
 		}
 	}
 	return m, nil
@@ -124,20 +144,55 @@ func (m *Machine) HeapWords() int64 { return int64(m.heap) }
 func (m *Machine) access(core int, a Addr, write bool) {
 	m.Accesses++
 	path := m.path[core]
-	hit := len(path) // level index of first hit; len(path) means memory
+	// L1 hit fast path: the overwhelmingly common case, kept free of the
+	// level loop and the cache.access call overhead.
+	c1 := path[0]
+	if c1.inited {
+		b := int64(a) >> m.shift[0]
+		if s := c1.lookup(b); s != nilSlot {
+			c1.Stats.Hits++
+			c1.touch(c1.setOf(b), s)
+			if write {
+				c1.slots[s].dirty = true
+				if m.holders != nil {
+					m.invalidateOffPath(core, a)
+				}
+			}
+			return
+		}
+	}
 	for i, c := range path {
-		if c.access(int64(a)/c.Block, write) {
-			hit = i
+		b := int64(a) >> m.shift[i]
+		if c.access(b, write) {
 			break
 		}
 		if m.holders != nil {
-			m.holders[i][int64(a)/c.Block] |= 1 << uint(c.Index)
+			m.setHolder(i, b, 1<<uint(c.Index))
 		}
 	}
-	_ = hit
 	if write && m.holders != nil {
 		m.invalidateOffPath(core, a)
 	}
+}
+
+// setHolder marks a level-(i+1) cache as holding block b, growing the dense
+// holder slice on demand.
+func (m *Machine) setHolder(i int, b int64, bit uint64) {
+	h := m.holders[i]
+	if b >= int64(len(h)) {
+		n := int64(len(h)) * 2
+		if n < b+1 {
+			n = b + 1
+		}
+		if n < 1024 {
+			n = 1024
+		}
+		grown := make([]uint64, n)
+		copy(grown, h)
+		h = grown
+		m.holders[i] = h
+	}
+	h[b] |= bit
 }
 
 // invalidateOffPath models ping-ponging: a write by core invalidates every
@@ -147,34 +202,24 @@ func (m *Machine) access(core int, a Addr, write bool) {
 // invalidation clears the enclosing level-i block from off-path level-i
 // caches.
 func (m *Machine) invalidateOffPath(core int, a Addr) {
+	owns := m.ownMask[core]
 	for i, level := range m.ByLevel {
-		b := int64(a) / level[0].Block
-		mask := m.holders[i][b]
-		if mask == 0 {
+		h := m.holders[i]
+		b := int64(a) >> m.shift[i]
+		if b >= int64(len(h)) {
 			continue
 		}
-		own := uint64(1) << uint(m.path[core][i].Index)
-		rest := mask &^ own
+		rest := h[b] &^ owns[i]
+		if rest == 0 {
+			continue // no off-path copies
+		}
 		for rest != 0 {
-			j := trailingZeros64(rest)
-			rest &^= 1 << uint(j)
+			j := bits.TrailingZeros64(rest)
+			rest &= rest - 1
 			level[j].invalidate(b)
 		}
-		if mask&own != 0 {
-			m.holders[i][b] = own
-		} else {
-			delete(m.holders[i], b)
-		}
+		h[b] &= owns[i]
 	}
-}
-
-func trailingZeros64(x uint64) int {
-	n := 0
-	for x&1 == 0 {
-		x >>= 1
-		n++
-	}
-	return n
 }
 
 // Load reads the word at a on behalf of core.
@@ -226,7 +271,10 @@ func (m *Machine) FlushCaches() {
 			c.Flush()
 		}
 		if m.holders != nil {
-			m.holders[i] = make(map[int64]uint64)
+			h := m.holders[i]
+			for j := range h {
+				h[j] = 0
+			}
 		}
 	}
 	m.ResetStats()

@@ -1,0 +1,133 @@
+package integration
+
+// Differential executor tests: the same algorithm code runs once on the
+// simulated HM machine (Ctx.st != nil, every access walking the cache
+// tree) and once on native goroutines (Ctx.st == nil), over randomized
+// inputs and several machine shapes.  Outputs must be bit-identical —
+// scheduling is allowed to change performance, never results.  This pins
+// the obliviousness boundary for the three dense kernels the paper builds
+// on: FFT, matrix transposition and I-GEP.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/fft"
+	"oblivhm/internal/gep"
+	"oblivhm/internal/hm"
+	"oblivhm/internal/transpose"
+)
+
+// diffMachines are the simulated shapes each workload runs on; all of them
+// and the native run must produce the same words.
+func diffMachines() map[string]hm.Config {
+	return map[string]hm.Config{
+		"mc3": hm.MC3(8),
+		"hm4": hm.HM4(4, 4),
+		"seq": hm.Seq(),
+	}
+}
+
+// differential runs fn under native and every simulated shape and requires
+// bit-identical output words.
+func differential(t *testing.T, name string, fn func(s *core.Session) []uint64) {
+	t.Helper()
+	want := fn(core.NewNative(4))
+	for mname, cfg := range diffMachines() {
+		got := fn(core.NewSim(hm.MustMachine(cfg)))
+		wordsEqual(t, name+"/"+mname, got, want)
+	}
+}
+
+func TestDifferentialFFT(t *testing.T) {
+	for _, n := range []int{8, 64, 256} {
+		for seed := int64(1); seed <= 3; seed++ {
+			n, seed := n, seed
+			fn := func(s *core.Session) []uint64 {
+				rng := rand.New(rand.NewSource(seed))
+				x := s.NewC128(n)
+				for i := 0; i < n; i++ {
+					s.PokeC(x, i, complex(rng.NormFloat64(), rng.NormFloat64()))
+				}
+				s.Run(fft.SpaceBound(n), func(c *core.Ctx) { fft.MOFFT(c, x) })
+				out := make([]uint64, 2*n)
+				for i := 0; i < n; i++ {
+					v := s.PeekC(x, i)
+					out[2*i] = math.Float64bits(real(v))
+					out[2*i+1] = math.Float64bits(imag(v))
+				}
+				return out
+			}
+			differential(t, "fft", fn)
+		}
+	}
+}
+
+func TestDifferentialTranspose(t *testing.T) {
+	for _, n := range []int{4, 32, 128} {
+		for seed := int64(1); seed <= 2; seed++ {
+			n, seed := n, seed
+			fn := func(s *core.Session) []uint64 {
+				rng := rand.New(rand.NewSource(seed))
+				A := s.NewMat(n, n)
+				AT := s.NewMat(n, n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						s.PokeM(A, i, j, rng.NormFloat64())
+					}
+				}
+				s.Run(transpose.SpaceBound(n), func(c *core.Ctx) {
+					transpose.MOMT(c, A, AT, core.F64{})
+				})
+				out := make([]uint64, n*n)
+				for i := 0; i < n; i++ {
+					for j := 0; j < n; j++ {
+						out[i*n+j] = math.Float64bits(s.PeekM(AT, i, j))
+					}
+				}
+				return out
+			}
+			differential(t, "transpose", fn)
+		}
+	}
+}
+
+func TestDifferentialIGEP(t *testing.T) {
+	specs := map[string]func() gep.Spec{
+		"floyd": gep.Floyd, // min-plus: no floating-point reassociation at all
+		"gauss": gep.Gauss, // every cell's update chain is fixed by the recursion
+	}
+	for sname, spec := range specs {
+		for _, n := range []int{16, 64} {
+			for seed := int64(1); seed <= 2; seed++ {
+				sname, spec, n, seed := sname, spec, n, seed
+				fn := func(s *core.Session) []uint64 {
+					rng := rand.New(rand.NewSource(seed))
+					x := s.NewMat(n, n)
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							// Diagonally dominant, so Gauss stays stable
+							// without pivoting.
+							v := float64(rng.Intn(64) + 1)
+							if i == j {
+								v += float64(64 * n)
+							}
+							s.PokeM(x, i, j, v)
+						}
+					}
+					s.Run(gep.SpaceBound(n), func(c *core.Ctx) { gep.IGEP(c, x, spec()) })
+					out := make([]uint64, n*n)
+					for i := 0; i < n; i++ {
+						for j := 0; j < n; j++ {
+							out[i*n+j] = math.Float64bits(s.PeekM(x, i, j))
+						}
+					}
+					return out
+				}
+				differential(t, sname, fn)
+			}
+		}
+	}
+}

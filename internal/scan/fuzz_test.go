@@ -1,0 +1,46 @@
+package scan
+
+// Native fuzz target for the parallel prefix sum: arbitrary byte strings
+// become signed word sequences, scanned on a small simulated machine and
+// compared against the sequential specification.  Run longer with
+// `make fuzz`.
+
+import (
+	"testing"
+
+	"oblivhm/internal/core"
+	"oblivhm/internal/hm"
+)
+
+func FuzzScan(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Add([]byte{0xff, 0xff, 0xff, 0})
+	f.Add([]byte{0x80, 0x7f, 0x80, 0x7f, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		n := len(data)
+		s := core.NewSim(hm.MustMachine(hm.HM4(2, 2)))
+		v := s.NewI64(n)
+		want := make([]int64, n)
+		acc := int64(0)
+		for i, b := range data {
+			x := int64(int8(b)) // signed, so cancellation paths are hit
+			s.PokeI(v, i, x)
+			acc += x
+			want[i] = acc
+		}
+		s.Run(int64(2*n), func(c *core.Ctx) { PrefixSumsI64(c, v) })
+		for i := 0; i < n; i++ {
+			if got := s.PeekI(v, i); got != want[i] {
+				t.Fatalf("n=%d: prefix[%d] = %d, want %d", n, i, got, want[i])
+			}
+		}
+	})
+}

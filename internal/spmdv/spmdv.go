@@ -9,7 +9,7 @@ package spmdv
 
 import (
 	"math"
-	"sort"
+	"slices"
 
 	"oblivhm/internal/core"
 )
@@ -32,13 +32,17 @@ type Entry struct {
 // FromEntries builds the (A_v, A_0) representation from an unordered entry
 // list (host-side preprocessing, unaccounted).
 func FromEntries(s *core.Session, n int, entries []Entry) Sparse {
-	es := append([]Entry(nil), entries...)
-	sort.Slice(es, func(a, b int) bool {
-		if es[a].I != es[b].I {
-			return es[a].I < es[b].I
+	cmp := func(a, b Entry) int {
+		if a.I != b.I {
+			return a.I - b.I
 		}
-		return es[a].J < es[b].J
-	})
+		return a.J - b.J
+	}
+	es := entries
+	if !slices.IsSortedFunc(es, cmp) {
+		es = append([]Entry(nil), entries...)
+		slices.SortFunc(es, cmp)
+	}
 	sp := Sparse{N: n, Av: s.NewPairs(len(es)), A0: s.NewI64(n + 1)}
 	row := 0
 	for k, e := range es {
@@ -118,7 +122,7 @@ func GridEntries(side int, perm []int) []Entry {
 		}
 		return g
 	}
-	var es []Entry
+	es := make([]Entry, 0, 5*side*side)
 	for x := 0; x < side; x++ {
 		for y := 0; y < side; y++ {
 			u := id(x, y)
