@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test bench tables examples vet cover race fuzz clean
+.PHONY: all test bench tables examples vet cover race fuzz soak clean
 
 all: vet test
 
@@ -38,6 +38,13 @@ cover:
 # real concurrency: strand goroutines and the native executor).
 race:
 	$(GO) test -race ./internal/core/... ./internal/harness/...
+
+# Chaos soak: randomized algo × machine × n sweep under seeded fault
+# injection with runtime invariants and the race detector, plus interleaved
+# chaos-off determinism probes.  SOAKTIME=10m for longer runs.
+SOAKTIME ?= 60s
+soak:
+	$(GO) run -race ./cmd/soak -duration=$(SOAKTIME)
 
 # Short native fuzz runs of the SPMS sorter and the prefix scan against
 # their sequential specifications.  FUZZTIME=1m fuzz for longer runs.

@@ -9,12 +9,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"oblivhm/internal/harness"
+	"oblivhm/internal/no"
 )
 
 func main() {
@@ -27,6 +29,9 @@ func main() {
 	res, err := harness.RunNO(*algo, *n, *p, *b)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nosim:", err)
+		if errors.Is(err, no.ErrUsage) {
+			fmt.Fprintln(os.Stderr, "hint: -p must divide -n and both must fit the algorithm's shape (powers of two for fft/sort/psum, n a square for mt); try e.g. -n 1024 -p 8")
+		}
 		os.Exit(1)
 	}
 	fmt.Println(res)

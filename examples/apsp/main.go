@@ -8,11 +8,23 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"oblivhm/internal/core"
 	"oblivhm/internal/gep"
 	"oblivhm/internal/hm"
 )
+
+// newMachine builds the machine, exiting with a readable error (not a
+// stack trace) if the configuration is invalid.
+func newMachine(cfg hm.Config) *hm.Machine {
+	m, err := hm.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "invalid machine config:", err)
+		os.Exit(1)
+	}
+	return m
+}
 
 func main() {
 	const side = 8 // 8x8 grid of "cities", n = 64
@@ -48,7 +60,7 @@ func main() {
 	}
 
 	run := func(name string, algo func(c *core.Ctx, x core.Mat)) core.Mat {
-		m := hm.MustMachine(hm.HM4(4, 4))
+		m := newMachine(hm.HM4(4, 4))
 		s := core.NewSim(m)
 		x := s.NewMat(n, n)
 		for i := 0; i < n; i++ {

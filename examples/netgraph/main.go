@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"oblivhm/internal/core"
 	"oblivhm/internal/graph"
@@ -13,12 +14,23 @@ import (
 	"oblivhm/internal/listrank"
 )
 
+// newMachine builds the machine, exiting with a readable error (not a
+// stack trace) if the configuration is invalid.
+func newMachine(cfg hm.Config) *hm.Machine {
+	m, err := hm.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "invalid machine config:", err)
+		os.Exit(1)
+	}
+	return m
+}
+
 func main() {
 	rng := rand.New(rand.NewSource(3))
 
 	// --- list ranking on a scrambled linked list ---
 	n := 1 << 10
-	m := hm.MustMachine(hm.HM4(4, 4))
+	m := newMachine(hm.HM4(4, 4))
 	s := core.NewSim(m)
 	perm := rng.Perm(n)
 	l := listrank.FromPerm(s, perm)

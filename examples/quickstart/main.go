@@ -6,6 +6,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"os"
 
 	"oblivhm/internal/core"
 	"oblivhm/internal/fft"
@@ -14,13 +15,24 @@ import (
 	"oblivhm/internal/transpose"
 )
 
+// newMachine builds the machine, exiting with a readable error (not a
+// stack trace) if the configuration is invalid.
+func newMachine(cfg hm.Config) *hm.Machine {
+	m, err := hm.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "invalid machine config:", err)
+		os.Exit(1)
+	}
+	return m
+}
+
 func main() {
 	// A 4-level HM machine: 16 cores, private L1s, four L2s, one L3.
 	cfg := hm.HM4(4, 4)
 	fmt.Println("machine:", cfg)
 
 	// --- matrix transposition (MO-MT, Figure 2) ---
-	m := hm.MustMachine(cfg)
+	m := newMachine(cfg)
 	s := core.NewSim(m)
 	n := 64
 	A := s.NewMat(n, n)
@@ -35,7 +47,7 @@ func main() {
 	fmt.Printf("\nMO-MT %dx%d:\n%s", n, n, st.Sim)
 
 	// --- FFT (MO-FFT, Figure 3) ---
-	m2 := hm.MustMachine(cfg)
+	m2 := newMachine(cfg)
 	s2 := core.NewSim(m2)
 	nf := 1 << 12
 	x := s2.NewC128(nf)
@@ -47,7 +59,7 @@ func main() {
 	fmt.Printf("\nMO-FFT n=%d:\n%s", nf, st2.Sim)
 
 	// --- sorting (SPMS structure, §III-C) ---
-	m3 := hm.MustMachine(cfg)
+	m3 := newMachine(cfg)
 	s3 := core.NewSim(m3)
 	ns := 1 << 12
 	v := s3.NewPairs(ns)

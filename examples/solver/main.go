@@ -8,17 +8,29 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"os"
 
 	"oblivhm/internal/core"
 	"oblivhm/internal/gep"
 	"oblivhm/internal/hm"
 )
 
+// newMachine builds the machine, exiting with a readable error (not a
+// stack trace) if the configuration is invalid.
+func newMachine(cfg hm.Config) *hm.Machine {
+	m, err := hm.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "invalid machine config:", err)
+		os.Exit(1)
+	}
+	return m
+}
+
 func main() {
 	n := 64
 	rng := rand.New(rand.NewSource(42))
 
-	m := hm.MustMachine(hm.HM4(4, 4))
+	m := newMachine(hm.HM4(4, 4))
 	tr := &core.Trace{}
 	s := core.NewSim(m, core.WithTrace(tr))
 

@@ -114,7 +114,7 @@ func (c *Ctx) PFor(n, elemWords int, body func(cc *Ctx, lo, hi int)) {
 		clo2, chi2 := clo, chi
 		st := e.newStrand(target, e.m.CacheOf(target, 1), jn, func(cc *Ctx) {
 			body(cc, clo2, chi2)
-		})
+		}, "cgc-chunk")
 		e.emit(EvChunk, target, 1, target, int64(chi2-clo2)*int64(elemWords))
 		e.enqueue(st)
 	}
@@ -152,19 +152,27 @@ func (c *Ctx) nativePFor(n int, body func(cc *Ctx, lo, hi int)) {
 		go func(lo, hi int) {
 			defer wg.Done()
 			defer c.s.gov.release()
+			defer func() {
+				if r := recover(); r != nil {
+					c.s.noteNativeFailure(r)
+				}
+			}()
 			body(&Ctx{s: c.s}, lo, hi)
 		}(clo, chi)
 	}
 	wg.Wait()
+	c.s.rethrowNative()
 }
 
 // ---- SB: space-bound scheduling ----
 
 // Task is a forked task with a declared space bound (the paper's s(τ), an
-// upper bound in words on the task's working space).
+// upper bound in words on the task's working space).  Label is optional and
+// only surfaces in failure diagnostics (RunError, deadlock forensics).
 type Task struct {
 	Space int64
 	Fn    func(*Ctx)
+	Label string
 }
 
 // SpawnSB forks the given tasks under the SB hint and waits for all of them.
@@ -199,7 +207,11 @@ func (c *Ctx) SpawnSB(tasks ...Task) {
 	for _, t := range tasks {
 		c.st.charge(1)
 		jn.pending++
-		p := pending{space: t.Space, fn: t.Fn, jn: jn}
+		lbl := t.Label
+		if lbl == "" {
+			lbl = "sb"
+		}
+		p := pending{space: t.Space, fn: t.Fn, jn: jn, label: lbl}
 		if e.flat {
 			// Ablation: ignore every level above 1 — spread over L1s.
 			slot := e.leastLoadedSlot(lam, 1)
@@ -218,7 +230,7 @@ func (c *Ctx) SpawnSB(tasks ...Task) {
 			// nested inside the parent's reservation (same shadow, no
 			// additional space) to keep the discipline deadlock-free.
 			core := e.leastLoadedCore(lam)
-			st := e.newStrand(core, lam, jn, t.Fn)
+			st := e.newStrand(core, lam, jn, t.Fn, lbl)
 			e.emit(EvNested, core, lam.Level, lam.Index, t.Space)
 			e.enqueue(st)
 		}
@@ -291,7 +303,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 			jn.pending++
 			id := idx
 			slot := e.leastLoadedSlot(lam, i)
-			e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }})
+			e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb"})
 		}
 		c.waitJoin(jn)
 		return
@@ -304,7 +316,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 			jn.pending++
 			id := idx
 			core := lam.CoreLo + idx%(lam.CoreHi-lam.CoreLo)
-			st := e.newStrand(core, lam, jn, func(cc *Ctx) { task(cc, id) })
+			st := e.newStrand(core, lam, jn, func(cc *Ctx) { task(cc, id) }, "cgc-sb")
 			e.emit(EvNested, core, lam.Level, lam.Index, space)
 			e.enqueue(st)
 		}
@@ -318,7 +330,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		jn.pending++
 		id := idx
 		slot := e.slotOf(targets[idx*d/m])
-		e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }})
+		e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb"})
 	}
 	c.waitJoin(jn)
 }
@@ -334,10 +346,16 @@ func (c *Ctx) nativeSpawn(tasks []Task) {
 		go func(fn func(*Ctx)) {
 			defer wg.Done()
 			defer c.s.gov.release()
+			defer func() {
+				if r := recover(); r != nil {
+					c.s.noteNativeFailure(r)
+				}
+			}()
 			fn(&Ctx{s: c.s})
 		}(t.Fn)
 	}
 	wg.Wait()
+	c.s.rethrowNative()
 }
 
 // waitJoin parks the calling strand until all children of jn have finished.

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"math/bits"
 
 	"oblivhm/internal/hm"
@@ -73,6 +72,8 @@ type strand struct {
 	spawned bool  // a pooled goroutine is attached to the channels
 	done    bool
 
+	label    string     // task label carried into failure reports
+	blockIdx int        // index in the engine's blocked list, -1 if not parked
 	jn       *join      // join to signal on completion
 	reserved *cacheSlot // space reservation to release on completion
 	resSpace int64
@@ -101,6 +102,7 @@ type pending struct {
 	space int64
 	fn    func(*Ctx)
 	jn    *join
+	label string
 }
 
 // deque is a per-core run queue: strands leave at the front, join at the
@@ -183,7 +185,12 @@ type engine struct {
 	reference  bool   // disable the fast paths (seed-equivalent schedule)
 	pool       []*strand
 	freeJoins  []*join
-	failure    any
+	failErr    error // first strand failure, as a typed *RunError
+
+	chaos    *chaos    // nil unless WithChaos: deterministic fault injector
+	verify   bool      // WithInvariants / WithChaos: per-round invariant checks
+	blockedL []*strand // strands currently parked (joins), for forensics
+	prevMiss [][]int64 // per-slot miss counters at the last verified round
 }
 
 func newEngine(s *Session, m *hm.Machine) *engine {
@@ -220,7 +227,7 @@ func (e *engine) putJoin(jn *join) {
 
 // newStrand creates (but does not start) a strand pinned to core, reusing a
 // pooled strand (object, channels, goroutine) when one is free.
-func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx)) *strand {
+func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx), label string) *strand {
 	var st *strand
 	if n := len(e.pool); n > 0 {
 		st = e.pool[n-1]
@@ -247,6 +254,8 @@ func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx)) 
 		}
 		st.ctx = &Ctx{s: e.s, core: core, anchor: anchor, st: st}
 	}
+	st.label = label
+	st.blockIdx = -1
 	e.live++
 	e.load[core]++
 	return st
@@ -257,10 +266,31 @@ func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx)) 
 // batch grant: the next round boundary the granted strand crosses yields to
 // the engine instead of continuing, restoring exact lockstep interleaving.
 func (e *engine) enqueue(st *strand) {
+	if st.blockIdx >= 0 {
+		e.untrackBlocked(st)
+	}
 	e.runq[st.core].pushBack(st)
 	e.nrun++
 	e.active |= 1 << uint(st.core)
 	e.batchAbort = true
+}
+
+// trackBlocked / untrackBlocked maintain the parked-strand list consumed by
+// the deadlock forensics (swap-remove keyed by the index stored on the
+// strand, so both are O(1)).  enqueue is the single point at which a parked
+// strand becomes runnable again, so untracking there is complete.
+func (e *engine) trackBlocked(st *strand) {
+	st.blockIdx = len(e.blockedL)
+	e.blockedL = append(e.blockedL, st)
+}
+
+func (e *engine) untrackBlocked(st *strand) {
+	last := len(e.blockedL) - 1
+	e.blockedL[st.blockIdx] = e.blockedL[last]
+	e.blockedL[st.blockIdx].blockIdx = st.blockIdx
+	e.blockedL[last] = nil
+	e.blockedL = e.blockedL[:last]
+	st.blockIdx = -1
 }
 
 // requeueFront puts a strand that exhausted its round budget back at the
@@ -283,18 +313,26 @@ func (e *engine) pop(core int) *strand {
 	return st
 }
 
-// run executes root anchored at the smallest cache fitting space.
-func (e *engine) run(space int64, root func(*Ctx)) {
+// run executes root anchored at the smallest cache fitting space, returning
+// a typed error (*RunError, *DeadlockError, *InvariantError) on failure.
+func (e *engine) run(space int64, root func(*Ctx)) error {
 	e.clock = 0
-	e.failure = nil
+	e.failErr = nil
 	e.nrun, e.active = 0, 0
 	for i := range e.runq {
 		e.runq[i] = deque{}
 	}
+	e.blockedL = e.blockedL[:0]
+	if e.chaos != nil {
+		e.chaos.deferred = e.chaos.deferred[:0]
+	}
+	if e.verify {
+		e.initInvariants()
+	}
 	defer e.drain()
 	anchor := e.m.ByLevel[e.m.SmallestFit(space)-1][0]
 	slot := e.slotOf(anchor)
-	st := e.newStrand(anchor.CoreLo, anchor, nil, root)
+	st := e.newStrand(anchor.CoreLo, anchor, nil, root, "root")
 	st.reserved = slot
 	st.resSpace = space
 	slot.used += space
@@ -302,12 +340,18 @@ func (e *engine) run(space int64, root func(*Ctx)) {
 	slot.placed++
 	e.emit(EvAnchor, st.core, anchor.Level, anchor.Index, space)
 	e.enqueue(st)
-	e.loop()
+	if err := e.loop(); err != nil {
+		return err
+	}
+	if e.verify {
+		return e.checkRunEnd()
+	}
+	return nil
 }
 
 // drain releases the pooled worker goroutines at the end of a run (they
 // would otherwise outlive the engine parked on their resume channels).
-// Strands still blocked when a run panics leak exactly as in the seed.
+// Strands still blocked when a run fails leak exactly as in the seed.
 func (e *engine) drain() {
 	for i, st := range e.pool {
 		if st.spawned {
@@ -318,9 +362,19 @@ func (e *engine) drain() {
 	e.pool = e.pool[:0]
 }
 
-func (e *engine) loop() {
+func (e *engine) loop() error {
 	scanAll := e.steal || e.reference
-	for e.live > 0 {
+	for e.live > 0 || e.qd > 0 {
+		// Chaos: admissions deferred at the previous round boundary fire
+		// before the scan, so deferral perturbs timing without ever costing
+		// liveness (the flush bypasses the deferral coin).
+		if e.chaos != nil && len(e.chaos.deferred) > 0 {
+			defs := e.chaos.deferred
+			e.chaos.deferred = e.chaos.deferred[:0]
+			for _, slot := range defs {
+				e.admitNow(slot)
+			}
+		}
 		progressed := false
 		if scanAll {
 			for c := range e.runq {
@@ -345,13 +399,56 @@ func (e *engine) loop() {
 			}
 		}
 		e.clock += e.quantum
-		if e.failure != nil {
-			panic(fmt.Sprintf("core: strand panicked: %v", e.failure))
+		if e.failErr != nil {
+			return e.failErr
 		}
-		if !progressed {
-			panic(fmt.Sprintf("core: deadlock: %d live strands all blocked, %d queued tasks", e.live, e.qd))
+		if !progressed && (e.chaos == nil || len(e.chaos.deferred) == 0) {
+			return &DeadlockError{Report: e.forensics()}
+		}
+		if e.verify {
+			if err := e.checkInvariants(); err != nil {
+				return err
+			}
 		}
 	}
+	return nil
+}
+
+// forensics assembles the structured deadlock report: per-core queue depths
+// and loads, every parked strand's anchor, and the admission state of every
+// cache slot holding reservations or starving queued tasks.
+func (e *engine) forensics() DeadlockReport {
+	r := DeadlockReport{Clock: e.clock, Live: e.live, Runnable: e.nrun, Queued: e.qd}
+	for c := range e.runq {
+		r.Cores = append(r.Cores, CoreState{Core: c, QueueDepth: e.runq[c].size(), Load: e.load[c]})
+	}
+	for _, st := range e.blockedL {
+		b := BlockedStrand{Core: st.core, Label: st.label}
+		if st.anchor != nil {
+			b.AnchorLevel, b.AnchorIndex = st.anchor.Level, st.anchor.Index
+		}
+		r.Blocked = append(r.Blocked, b)
+	}
+	for _, level := range e.slots {
+		for _, slot := range level {
+			if slot.used == 0 && slot.anchd == 0 && len(slot.queue) == 0 {
+				continue
+			}
+			s := SlotState{
+				Level:    slot.cache.Level,
+				Index:    slot.cache.Index,
+				Used:     slot.used,
+				Capacity: slot.cache.Cap * slot.cache.Block,
+				Anchored: slot.anchd,
+				Queued:   len(slot.queue),
+			}
+			for _, p := range slot.queue {
+				s.Demands = append(s.Demands, p.space)
+			}
+			r.Slots = append(r.Slots, s)
+		}
+	}
+	return r
 }
 
 // runCore gives core c its turn in the current round: up to quantum
@@ -359,6 +456,9 @@ func (e *engine) loop() {
 func (e *engine) runCore(c int) bool {
 	progressed := false
 	budget := e.quantum
+	if e.chaos != nil {
+		budget = e.chaos.budget(e.quantum)
+	}
 	for budget > 0 {
 		st := e.pop(c)
 		if st == nil && e.steal {
@@ -378,7 +478,7 @@ func (e *engine) runCore(c int) bool {
 // extended with batchRounds whole rounds (see the package comment).
 func (e *engine) runStrand(st *strand, budget int64) int64 {
 	st.grant = 0
-	if e.nrun == 0 && !e.reference {
+	if e.nrun == 0 && !e.reference && (e.chaos == nil || !e.chaos.coin(2)) {
 		st.grant = batchRounds
 	}
 	e.batchAbort = false
@@ -398,6 +498,7 @@ func (e *engine) runStrand(st *strand, budget int64) int64 {
 		e.requeueFront(st)
 		return 0
 	case yBlocked:
+		e.trackBlocked(st)
 		return st.budget // leftover
 	case yRequeue:
 		// An inline finish admitted work onto this strand's core; the seed
@@ -405,8 +506,14 @@ func (e *engine) runStrand(st *strand, budget int64) int64 {
 		e.enqueue(st)
 		return st.budget
 	case yDone:
-		if msg.panicked != nil && e.failure == nil {
-			e.failure = msg.panicked
+		if msg.panicked != nil && e.failErr == nil {
+			e.failErr = &RunError{
+				Core:        st.core,
+				AnchorLevel: st.anchor.Level,
+				AnchorIndex: st.anchor.Index,
+				Label:       st.label,
+				Value:       msg.panicked,
+			}
 		}
 		e.finish(st)
 		return st.budget
@@ -439,8 +546,27 @@ func (e *engine) finish(st *strand) {
 }
 
 // admit starts queued tasks at slot while capacity allows (paper: multiple
-// tasks may be anchored simultaneously provided total space <= C_i).
+// tasks may be anchored simultaneously provided total space <= C_i).  Under
+// chaos the admission pass may be deferred to the next round boundary (the
+// loop flushes deferrals through admitNow, so nothing is ever lost) or the
+// queue head rotated to the back, perturbing admission order and timing.
 func (e *engine) admit(slot *cacheSlot) {
+	if e.chaos != nil && len(slot.queue) > 0 {
+		if e.chaos.coin(8) {
+			e.chaos.deferSlot(slot)
+			return
+		}
+		if len(slot.queue) > 1 && e.chaos.coin(4) {
+			head := slot.queue[0]
+			copy(slot.queue, slot.queue[1:])
+			slot.queue[len(slot.queue)-1] = head
+		}
+	}
+	e.admitNow(slot)
+}
+
+// admitNow is the admission pass proper, free of chaos perturbation.
+func (e *engine) admitNow(slot *cacheSlot) {
 	for len(slot.queue) > 0 {
 		p := slot.queue[0]
 		if slot.used+p.space > slot.cache.Cap*slot.cache.Block && slot.anchd > 0 {
@@ -460,7 +586,7 @@ func (e *engine) startAnchored(slot *cacheSlot, p pending) {
 	slot.anchd++
 	slot.placed++
 	core := e.leastLoadedCore(slot.cache)
-	st := e.newStrand(core, slot.cache, p.jn, p.fn)
+	st := e.newStrand(core, slot.cache, p.jn, p.fn, p.label)
 	st.reserved = slot
 	st.resSpace = p.space
 	e.emit(EvAnchor, core, slot.cache.Level, slot.cache.Index, p.space)
@@ -488,7 +614,9 @@ func (e *engine) startsNow(slot *cacheSlot, space int64) bool {
 }
 
 // leastLoadedCore picks the core with the fewest live strands in the shadow
-// of cache, lowest index on ties (deterministic).
+// of cache, lowest index on ties (deterministic).  Chaos breaks the tie
+// randomly instead — still among the least-loaded cores, so the placement
+// rule itself is preserved.
 func (e *engine) leastLoadedCore(c *hm.Cache) int {
 	best, bestLoad := c.CoreLo, int(^uint(0)>>1)
 	for i := c.CoreLo; i < c.CoreHi; i++ {
@@ -496,17 +624,45 @@ func (e *engine) leastLoadedCore(c *hm.Cache) int {
 			best, bestLoad = i, e.load[i]
 		}
 	}
+	if e.chaos != nil {
+		cands := e.chaos.scratch[:0]
+		for i := c.CoreLo; i < c.CoreHi; i++ {
+			if e.load[i] == bestLoad {
+				cands = append(cands, i)
+			}
+		}
+		e.chaos.scratch = cands
+		if len(cands) > 1 {
+			best = e.chaos.pick(cands)
+		}
+	}
 	return best
 }
 
 // leastLoadedSlot picks the cache slot with the smallest reserved space
-// among the level-j caches under lambda, lowest index on ties.
+// among the level-j caches under lambda, lowest index on ties (randomized
+// among the tied slots under chaos).
 func (e *engine) leastLoadedSlot(lambda *hm.Cache, j int) *cacheSlot {
+	under := e.m.Under(lambda, j)
 	var best *cacheSlot
-	for _, c := range e.m.Under(lambda, j) {
+	for _, c := range under {
 		s := e.slotOf(c)
 		if best == nil || s.used+int64(len(s.queue)) < best.used+int64(len(best.queue)) {
 			best = s
+		}
+	}
+	if e.chaos != nil && best != nil {
+		key := best.used + int64(len(best.queue))
+		cands := e.chaos.scratch[:0]
+		for _, c := range under {
+			s := e.slotOf(c)
+			if s.used+int64(len(s.queue)) == key {
+				cands = append(cands, c.Index)
+			}
+		}
+		e.chaos.scratch = cands
+		if len(cands) > 1 {
+			best = e.slots[j-1][e.chaos.pick(cands)]
 		}
 	}
 	return best
@@ -690,6 +846,20 @@ func (e *engine) stealFor(c int) *strand {
 	for v := range e.runq {
 		if e.runq[v].size() > best {
 			victim, best = v, e.runq[v].size()
+		}
+	}
+	if e.chaos != nil {
+		// Chaos: any core with at least two queued strands is a valid
+		// victim; pick one at random instead of the most loaded.
+		cands := e.chaos.scratch[:0]
+		for v := range e.runq {
+			if e.runq[v].size() > 1 {
+				cands = append(cands, v)
+			}
+		}
+		e.chaos.scratch = cands
+		if len(cands) > 0 {
+			victim = e.chaos.pick(cands)
 		}
 	}
 	if victim < 0 {

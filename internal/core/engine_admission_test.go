@@ -7,7 +7,9 @@ package core
 // make progress.
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"testing"
 
 	"oblivhm/internal/hm"
@@ -88,33 +90,98 @@ func TestOversizeTaskStillAdmitted(t *testing.T) {
 	}
 }
 
-// TestDeadlockPanicMessage pins the engine's stuck-configuration report.
-// The public scheduling discipline is deadlock-free by construction (the
-// nested fallback and the oversize escape hatch above), so the detector is
-// a backstop against engine bugs; this test fabricates the stuck state
-// directly — a queued task behind a reservation whose holder never
-// finishes — and asserts the diagnostic it would print.
-func TestDeadlockPanicMessage(t *testing.T) {
-	m := hm.MustMachine(hm.HM4(2, 2))
-	s := NewSim(m)
-	defer func() {
-		r := recover()
-		if r == nil {
-			t.Fatal("stuck configuration did not panic")
-		}
-		want := "core: deadlock: 1 live strands all blocked, 1 queued tasks"
-		if got := fmt.Sprint(r); got != want {
-			t.Fatalf("panic message = %q, want %q", got, want)
-		}
-	}()
-	s.Run(1<<12, func(c *Ctx) {
+// stuckRun wedges the engine on purpose: an over-admission state — a
+// phantom reservation filling an L1 with a task queued behind it whose
+// holder never finishes — that the backstop must diagnose.  The public
+// scheduling discipline is deadlock-free by construction (the nested
+// fallback and the oversize escape hatch above), so the detector guards
+// against engine bugs; the test fabricates the stuck state directly.
+func stuckRun(s *Session, m *hm.Machine) (RunStats, error) {
+	return s.TryRun(1<<12, func(c *Ctx) {
 		e := s.eng
 		slot := e.slotOf(m.CacheOf(0, 1))
 		slot.used = slot.cache.Cap * slot.cache.Block // phantom reservation
 		slot.anchd = 1
 		jn := e.newJoin()
 		jn.pending = 1
-		e.placeAnchored(slot, pending{space: 1, jn: jn, fn: func(*Ctx) {}})
+		e.placeAnchored(slot, pending{space: 1, jn: jn, fn: func(*Ctx) {}, label: "starveling"})
 		c.waitJoin(jn) // parks behind a task that can never be admitted
+	})
+}
+
+// TestDeadlockForensics trips the backstop and asserts the structured
+// report diagnoses the wedge: the starved cache slot is named with its
+// occupancy and the queued task's space demand, and the parked root strand
+// appears with its anchor.
+func TestDeadlockForensics(t *testing.T) {
+	m := hm.MustMachine(hm.HM4(2, 2))
+	s := NewSim(m)
+	_, err := stuckRun(s, m)
+	if err == nil {
+		t.Fatal("stuck configuration did not fail")
+	}
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("stuck configuration returned %T (%v), want *DeadlockError", err, err)
+	}
+	r := de.Report
+	if r.Live != 1 || r.Queued != 1 || r.Runnable != 0 {
+		t.Errorf("report counts = live %d, runnable %d, queued %d; want 1, 0, 1", r.Live, r.Runnable, r.Queued)
+	}
+	if got := r.Starved(); len(got) != 1 || got[0] != "L1[0]" {
+		t.Errorf("Starved() = %v, want [L1[0]]", got)
+	}
+	var starved *SlotState
+	for i := range r.Slots {
+		if r.Slots[i].Name() == "L1[0]" {
+			starved = &r.Slots[i]
+		}
+	}
+	if starved == nil {
+		t.Fatalf("report slots %v do not include the starved L1[0]", r.Slots)
+	}
+	if starved.Queued != 1 || len(starved.Demands) != 1 || starved.Demands[0] != 1 {
+		t.Errorf("starved slot = %+v, want 1 queued task with space demand 1", *starved)
+	}
+	if starved.Used != starved.Capacity || starved.Anchored != 1 {
+		t.Errorf("starved slot occupancy = %d/%d with %d anchored, want full with 1 anchored",
+			starved.Used, starved.Capacity, starved.Anchored)
+	}
+	if len(r.Blocked) != 1 || r.Blocked[0].Label != "root" || r.Blocked[0].AnchorLevel != 2 {
+		t.Errorf("blocked strands = %+v, want the root strand parked at its L2 anchor", r.Blocked)
+	}
+	for _, frag := range []string{"L1[0]", "used 512/512", "pending space demands: [1]", `task "root"`, "starved: L1[0]"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("rendered report missing %q:\n%s", frag, err.Error())
+		}
+	}
+}
+
+// TestDeadlockStillPanicsThroughRun pins the historical contract: callers
+// using Run (not TryRun) still get a panic, now carrying the forensics.
+func TestDeadlockStillPanicsThroughRun(t *testing.T) {
+	m := hm.MustMachine(hm.HM4(2, 2))
+	s := NewSim(m)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("stuck configuration did not panic through Run")
+		}
+		if _, ok := r.(*DeadlockError); !ok {
+			t.Fatalf("Run panicked with %T, want *DeadlockError", r)
+		}
+		if !strings.Contains(fmt.Sprint(r), "starved: L1[0]") {
+			t.Errorf("panic value does not name the starved slot: %v", r)
+		}
+	}()
+	s.Run(1<<12, func(c *Ctx) {
+		e := s.eng
+		slot := e.slotOf(m.CacheOf(0, 1))
+		slot.used = slot.cache.Cap * slot.cache.Block
+		slot.anchd = 1
+		jn := e.newJoin()
+		jn.pending = 1
+		e.placeAnchored(slot, pending{space: 1, jn: jn, fn: func(*Ctx) {}})
+		c.waitJoin(jn)
 	})
 }

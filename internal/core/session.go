@@ -21,6 +21,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 
 	"oblivhm/internal/hm"
 )
@@ -37,6 +38,9 @@ type Session struct {
 	nmem    *nativeMem  // native backing store
 	workers int         // native parallelism
 	gov     *governor   // native goroutine governor
+
+	nmu   sync.Mutex // guards nfail (native goroutines run concurrently)
+	nfail any        // first panic recovered from a native worker goroutine
 }
 
 // nm returns the native memory, which exists only in native sessions.
@@ -111,17 +115,72 @@ type RunStats struct {
 // Run executes root to completion.  space is the space bound of the root
 // task in words (the paper's S(n)); the root is anchored at the smallest
 // cache that fits it (usually the top-level cache).  Run returns the
-// machine counters accumulated during this run.
+// machine counters accumulated during this run.  On failure it panics with
+// the typed error TryRun would return (the historical contract; callers
+// that want errors use TryRun).
 func (s *Session) Run(space int64, root func(*Ctx)) RunStats {
+	st, err := s.TryRun(space, root)
+	if err != nil {
+		panic(err)
+	}
+	return st
+}
+
+// TryRun is Run with panic-to-error recovery: a panicking task surfaces as
+// a *RunError naming the failing strand's core, anchor and task label; a
+// wedged schedule as a *DeadlockError carrying the full forensics report;
+// a violated engine invariant (WithInvariants / WithChaos) as an
+// *InvariantError.
+func (s *Session) TryRun(space int64, root func(*Ctx)) (RunStats, error) {
 	if s.mach == nil {
-		ctx := &Ctx{s: s}
-		root(ctx)
-		return RunStats{}
+		return RunStats{}, s.nativeRun(root)
 	}
 	s.mach.ResetStats()
-	s.eng.run(space, root)
+	if err := s.eng.run(space, root); err != nil {
+		return RunStats{}, err
+	}
 	s.mach.Steps = s.eng.clock
-	return RunStats{Steps: s.eng.clock, Sim: s.mach.Stats()}
+	return RunStats{Steps: s.eng.clock, Sim: s.mach.Stats()}, nil
+}
+
+// nativeRun executes root on the calling goroutine, recovering panics from
+// it and from worker goroutines (noted by nativeSpawn/nativePFor) into a
+// *RunError.
+func (s *Session) nativeRun(root func(*Ctx)) (err error) {
+	s.nmu.Lock()
+	s.nfail = nil
+	s.nmu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*RunError); ok {
+				err = re
+				return
+			}
+			err = &RunError{Core: -1, Label: "native", Value: r}
+		}
+	}()
+	root(&Ctx{s: s})
+	return nil
+}
+
+// noteNativeFailure records the first panic recovered from a native worker
+// goroutine; rethrowNative re-raises it on the forking goroutine once the
+// fork's WaitGroup has drained.
+func (s *Session) noteNativeFailure(r any) {
+	s.nmu.Lock()
+	if s.nfail == nil {
+		s.nfail = r
+	}
+	s.nmu.Unlock()
+}
+
+func (s *Session) rethrowNative() {
+	s.nmu.Lock()
+	r := s.nfail
+	s.nmu.Unlock()
+	if r != nil {
+		panic(&RunError{Core: -1, Label: "native", Value: r})
+	}
 }
 
 // RunCold flushes all caches before running, so the measured traffic
@@ -132,6 +191,14 @@ func (s *Session) RunCold(space int64, root func(*Ctx)) RunStats {
 		s.mach.FlushCaches()
 	}
 	return s.Run(space, root)
+}
+
+// TryRunCold is RunCold with TryRun's panic-to-error recovery.
+func (s *Session) TryRunCold(space int64, root func(*Ctx)) (RunStats, error) {
+	if s.mach != nil {
+		s.mach.FlushCaches()
+	}
+	return s.TryRun(space, root)
 }
 
 // governor bounds the number of live goroutines in native mode: fork sites

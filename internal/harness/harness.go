@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -100,7 +101,7 @@ func RunMOOnConfig(algo string, cfg hm.Config, n int, opts ...core.Opt) (MOResul
 		return MOResult{}, err
 	}
 	s := core.NewSim(m, opts...)
-	st, predict, err := runWorkload(s, algo, n)
+	st, predict, err := runWorkloadChecked(s, algo, n)
 	if err != nil {
 		return MOResult{}, err
 	}
@@ -123,6 +124,24 @@ func RunMOOnConfig(algo string, cfg hm.Config, n int, opts ...core.Opt) (MOResul
 
 // predictFn maps (n, q_i, B_i, C_i) to the Table II per-cache miss formula.
 type predictFn func(n, q, b, c float64) float64
+
+// runWorkloadChecked is runWorkload with panic-to-error recovery: the
+// engine's typed failures (a panicking strand as *core.RunError, a wedged
+// schedule as *core.DeadlockError, a violated invariant as
+// *core.InvariantError) surface as returned errors instead of crashing the
+// caller.  Anything else — a bug in the harness itself — still panics.
+func runWorkloadChecked(s *core.Session, algo string, n int) (st core.RunStats, p predictFn, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && core.IsRunFailure(e) {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	return runWorkload(s, algo, n)
+}
 
 // runWorkload builds the input for algo at size n, runs it cold, and
 // returns the stats plus the prediction formula.
@@ -278,8 +297,19 @@ func NOAlgos() []string {
 }
 
 // RunNO runs the named NO workload on M(p,B) and reports communication
-// against the Table II formula.
-func RunNO(algo string, n, p, b int) (NOResult, error) {
+// against the Table II formula.  Machine-shape violations (p not dividing
+// n, non-power-of-two PE counts, ...) come back as errors wrapping
+// no.ErrUsage rather than panics, so CLIs can print a usage hint.
+func RunNO(algo string, n, p, b int) (res NOResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, no.ErrUsage) {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
 	rng := rand.New(rand.NewSource(7))
 	var w *no.World
 	var predicted float64
@@ -378,7 +408,7 @@ func RunNO(algo string, n, p, b int) (NOResult, error) {
 	default:
 		return NOResult{}, fmt.Errorf("unknown NO algorithm %q (have %s)", algo, strings.Join(NOAlgos(), ", "))
 	}
-	res := NOResult{
+	res = NOResult{
 		Algo: algo, N: n, P: p, B: b,
 		Comm: w.Comm(), Predicted: predicted,
 		Comp: w.Computation(), Supersteps: w.Supersteps(),

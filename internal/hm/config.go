@@ -83,11 +83,16 @@ func (c Config) CoresUnder(level int) int {
 //   - at least one cache level;
 //   - p_1 = 1 (private L1s);
 //   - capacities and block sizes positive, powers of two, with
-//     B_i | C_i and B_{i-1} <= B_i;
+//     B_i | C_i and B_{i-1} | B_i (so B_{i-1} <= B_i);
+//   - fan-outs (arities) between 1 and the 64-core simulator limit;
 //   - strictly growing capacities with C_i >= p_i * C_{i-1} (the paper's
 //     C_i >= c_i p_i C_{i-1} with c_i >= 1);
 //   - tall caches: C_i >= B_i^2;
 //   - at most 64 cores (a simulator limit used by the coherence bitmasks).
+//
+// Every violation returns a descriptive error naming the offending level,
+// so malformed configs surface as errors through NewMachine and the
+// harness/CLIs rather than as panics.
 func (c Config) Validate() error {
 	if len(c.Levels) == 0 {
 		return fmt.Errorf("hm: config %q has no cache levels", c.Name)
@@ -109,13 +114,23 @@ func (c Config) Validate() error {
 		if l.Capacity < l.Block*l.Block {
 			return fmt.Errorf("hm: level %d: not tall (C=%d < B^2=%d)", lv, l.Capacity, l.Block*l.Block)
 		}
+		if l.Arity < 1 {
+			return fmt.Errorf("hm: level %d: fan-out (arity) must be >= 1, got %d", lv, l.Arity)
+		}
+		if l.Arity > 64 {
+			return fmt.Errorf("hm: level %d: fan-out %d exceeds the simulator's 64-core limit", lv, l.Arity)
+		}
 		if i > 0 {
 			prev := c.Levels[i-1]
-			if l.Arity < 1 {
-				return fmt.Errorf("hm: level %d: arity must be >= 1, got %d", lv, l.Arity)
-			}
 			if l.Block < prev.Block {
 				return fmt.Errorf("hm: level %d: block %d smaller than level %d block %d", lv, l.Block, lv-1, prev.Block)
+			}
+			if l.Block%prev.Block != 0 {
+				return fmt.Errorf("hm: level %d: block %d not a multiple of level %d block %d", lv, l.Block, lv-1, prev.Block)
+			}
+			if l.Capacity <= prev.Capacity {
+				return fmt.Errorf("hm: level %d: capacity %d not strictly larger than level %d capacity %d (sizes must grow up the hierarchy)",
+					lv, l.Capacity, lv-1, prev.Capacity)
 			}
 			if l.Capacity < int64(l.Arity)*prev.Capacity {
 				return fmt.Errorf("hm: level %d: C_i=%d violates C_i >= p_i*C_{i-1} = %d*%d",

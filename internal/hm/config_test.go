@@ -58,7 +58,19 @@ func TestValidateRejectsBadConfigs(t *testing.T) {
 		{"shrinking capacity", Config{Name: "x", Levels: []LevelSpec{
 			{Capacity: 1 << 10, Block: 8, Arity: 1},
 			{Capacity: 1 << 9, Block: 8, Arity: 2},
+		}}, "not strictly larger"},
+		{"slow-growing capacity", Config{Name: "x", Levels: []LevelSpec{
+			{Capacity: 1 << 10, Block: 8, Arity: 1},
+			{Capacity: 1 << 11, Block: 8, Arity: 4},
 		}}, "C_i >= p_i*C_{i-1}"},
+		{"zero fan-out", Config{Name: "x", Levels: []LevelSpec{
+			{Capacity: 1 << 10, Block: 8, Arity: 1},
+			{Capacity: 1 << 14, Block: 8, Arity: 0},
+		}}, "fan-out (arity) must be >= 1"},
+		{"oversized fan-out", Config{Name: "x", Levels: []LevelSpec{
+			{Capacity: 1 << 10, Block: 8, Arity: 1},
+			{Capacity: 1 << 20, Block: 8, Arity: 65},
+		}}, "64-core limit"},
 		{"shrinking block", Config{Name: "x", Levels: []LevelSpec{
 			{Capacity: 1 << 10, Block: 16, Arity: 1},
 			{Capacity: 1 << 12, Block: 8, Arity: 2},

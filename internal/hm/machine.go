@@ -103,13 +103,34 @@ func NewMachine(cfg Config) (*Machine, error) {
 }
 
 // MustMachine builds a machine from cfg, panicking on invalid configs.
-// Intended for tests and examples using the stock presets.
+// Intended only for tests using the stock presets; everything user-facing
+// (harness, CLIs, examples) goes through NewMachine and propagates the
+// validation error.
 func MustMachine(cfg Config) *Machine {
 	m, err := NewMachine(cfg)
 	if err != nil {
 		panic(err)
 	}
 	return m
+}
+
+// AddressError reports a load or store outside the allocated heap — an
+// algorithm bug the simulator turns into a typed panic, which the core
+// engine recovers into a RunError instead of crashing with a bare runtime
+// index error.
+type AddressError struct {
+	Core  int
+	Addr  Addr
+	Write bool
+	Heap  int64 // allocated heap size in words at the time of the access
+}
+
+func (e *AddressError) Error() string {
+	op := "load"
+	if e.Write {
+		op = "store"
+	}
+	return fmt.Sprintf("hm: core %d: %s at address %d outside the allocated heap [0, %d)", e.Core, op, e.Addr, e.Heap)
 }
 
 // Cores returns p.
@@ -222,14 +243,21 @@ func (m *Machine) invalidateOffPath(core int, a Addr) {
 	}
 }
 
-// Load reads the word at a on behalf of core.
+// Load reads the word at a on behalf of core.  Out-of-heap addresses panic
+// with a typed *AddressError (recovered into a RunError by the engine).
 func (m *Machine) Load(core int, a Addr) uint64 {
+	if a < 0 || a >= m.heap {
+		panic(&AddressError{Core: core, Addr: a, Heap: int64(m.heap)})
+	}
 	m.access(core, a, false)
 	return m.mem[a]
 }
 
 // Store writes the word at a on behalf of core.
 func (m *Machine) Store(core int, a Addr, v uint64) {
+	if a < 0 || a >= m.heap {
+		panic(&AddressError{Core: core, Addr: a, Write: true, Heap: int64(m.heap)})
+	}
 	m.access(core, a, true)
 	m.mem[a] = v
 }

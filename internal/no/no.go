@@ -19,7 +19,25 @@
 //     cluster level containing every message of superstep s.
 package no
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUsage is the sentinel wrapped by every machine-shape and PE-count
+// validation failure in this package and package noalgo: p not dividing N,
+// non-power-of-two PE counts, input slices of the wrong length.  The
+// validations panic (the substrate has no error plumbing through the
+// superstep API), but the panic values are errors wrapping ErrUsage, so
+// harness.RunNO recovers them into ordinary returned errors and CLIs can
+// errors.Is(err, no.ErrUsage) to print a usage hint instead of a stack
+// trace.
+var ErrUsage = errors.New("invalid machine or input shape")
+
+// Usagef builds an ErrUsage-wrapping error for a validation panic.
+func Usagef(format string, args ...any) error {
+	return fmt.Errorf(format+": %w", append(args, ErrUsage)...)
+}
 
 // Msg is one received message.
 type Msg struct {
@@ -52,8 +70,11 @@ type World struct {
 // NewWorld creates an M(N) machine executed on p processors with block
 // size b.  p must divide N.
 func NewWorld(n, p, b int) *World {
+	if n <= 0 {
+		panic(Usagef("no: machine size N=%d must be positive", n))
+	}
 	if p <= 0 || n%p != 0 {
-		panic(fmt.Sprintf("no: p=%d must divide N=%d", p, n))
+		panic(Usagef("no: processor count p=%d must be positive and divide N=%d", p, n))
 	}
 	if b <= 0 {
 		b = 1

@@ -36,7 +36,7 @@ func ColumnSort(w *no.World, keys []uint64) { ColumnSortPairs(w, keys, nil) }
 func ColumnSortPairs(w *no.World, keys, vals []uint64) {
 	n := w.N
 	if !bitint.IsPow2(n) || len(keys) != n || (vals != nil && len(vals) != n) {
-		panic("noalgo: columnsort needs power-of-two N PEs")
+		panic(no.Usagef("noalgo: columnsort needs power-of-two N PEs and one key per PE, got N=%d len=%d", n, len(keys)))
 	}
 	s := pickColumns(n)
 	if s < 2 {

@@ -27,7 +27,7 @@ import (
 // position.  One communication superstep plus one delivery superstep.
 func Transpose(w *no.World, n int, val []uint64) {
 	if len(val) != n*n || w.N != n*n {
-		panic("noalgo: transpose needs N = n^2 PEs")
+		panic(no.Usagef("noalgo: transpose needs N = n^2 PEs, got N=%d for n=%d", w.N, n))
 	}
 	w.Step(func(e *no.Env) {
 		i, j := e.PE()/n, e.PE()%n
@@ -48,7 +48,7 @@ func Transpose(w *no.World, n int, val []uint64) {
 func PrefixSums(w *no.World, val []uint64) uint64 {
 	n := w.N
 	if !bitint.IsPow2(n) || len(val) != n {
-		panic("noalgo: prefix sums need power-of-two N PEs")
+		panic(no.Usagef("noalgo: prefix sums need power-of-two N PEs and one value per PE, got N=%d len=%d", n, len(val)))
 	}
 	// Up-sweep.
 	for k := 1; k < n; k <<= 1 {
@@ -95,7 +95,7 @@ func PrefixSums(w *no.World, val []uint64) uint64 {
 // final transpose.
 func FFT(w *no.World, x []complex128) {
 	if !bitint.IsPow2(w.N) || len(x) != w.N {
-		panic("noalgo: FFT needs power-of-two N PEs")
+		panic(no.Usagef("noalgo: FFT needs power-of-two N PEs and one point per PE, got N=%d len=%d", w.N, len(x)))
 	}
 	fftGroups(w, x, []int{0}, w.N)
 }
@@ -222,7 +222,7 @@ func BitonicSort(w *no.World, keys []uint64) { BitonicSortPairs(w, keys, nil) }
 func BitonicSortPairs(w *no.World, keys, vals []uint64) {
 	n := w.N
 	if !bitint.IsPow2(n) || len(keys) != n || (vals != nil && len(vals) != n) {
-		panic("noalgo: bitonic sort needs power-of-two N PEs")
+		panic(no.Usagef("noalgo: bitonic sort needs power-of-two N PEs and one key per PE, got N=%d len=%d", n, len(keys)))
 	}
 	for k := 2; k <= n; k <<= 1 {
 		for j := k >> 1; j > 0; j >>= 1 {

@@ -17,7 +17,7 @@ import "oblivhm/internal/no"
 func ConnectedComponents(w *no.World, adj [][]int) []int {
 	n := w.N
 	if len(adj) != n {
-		panic("noalgo: need one adjacency list per PE")
+		panic(no.Usagef("noalgo: connected components need one adjacency list per PE, got %d lists for N=%d", len(adj), n))
 	}
 	// Working copies: cur[v] = current-round adjacency of representative v.
 	cur := make([][]int, n)

@@ -48,7 +48,7 @@ func ListRank(w *no.World, succ, pred []int) []int64 {
 func ListRankWeighted(w *no.World, succ, pred []int, wts []int64) []int64 {
 	n := w.N
 	if !bitint.IsPow2(n) || len(succ) != n || len(pred) != n {
-		panic("noalgo: list rank needs power-of-two N PEs")
+		panic(no.Usagef("noalgo: list rank needs power-of-two N PEs and one node per PE, got N=%d len=%d", n, len(succ)))
 	}
 	nodes := make([]noNode, n)
 	for v := 0; v < n; v++ {

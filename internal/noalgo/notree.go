@@ -31,7 +31,7 @@ func unpackArc(k uint64) (int, int) { return int(k >> 32), int(k & 0xffffffff) }
 func EulerTreeOps(w *no.World, n, root int, edges [][2]int) TreeResult {
 	m := 2 * len(edges)
 	if w.N != m || !bitint.IsPow2(m) {
-		panic("noalgo: tree ops need N = 2·(n-1) PEs, a power of two")
+		panic(no.Usagef("noalgo: tree ops need N = 2·(n-1) PEs, a power of two, got N=%d for %d edges", w.N, len(edges)))
 	}
 	// Arcs, one per PE, then sorted by (src, dst).
 	arcs := make([]uint64, m)
