@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test bench tables examples vet cover race fuzz soak clean
+.PHONY: all test bench bench-smoke tables examples vet cover race race-parallel fuzz soak profile clean
 
 all: vet test
 
@@ -15,6 +15,13 @@ vet:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# One-iteration pass over the E-series benches, serial then parallel: a
+# cheap crash/divergence gate (OBLIVHM_PARALLEL makes benchMO verify the
+# parallel metrics against an untimed serial reference), not a timing run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
+	OBLIVHM_PARALLEL=4 $(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
 
 # Regenerate the paper's Table I / Table II / ablation measurements
 # (EXPERIMENTS.md records a captured run).
@@ -39,6 +46,12 @@ cover:
 race:
 	$(GO) test -race ./internal/core/... ./internal/harness/...
 
+# Race-check the parallel replay backend end to end: stream-level machine
+# equivalence, engine-level schedule equivalence, and the harness golden
+# matrix + chaos sweep, all with real worker threads underneath.
+race-parallel:
+	$(GO) test -race -run 'Parallel' ./internal/hm ./internal/core ./internal/harness
+
 # Chaos soak: randomized algo × machine × n sweep under seeded fault
 # injection with runtime invariants and the race detector, plus interleaved
 # chaos-off determinism probes.  SOAKTIME=10m for longer runs.
@@ -53,5 +66,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzSPMSSort -fuzztime=$(FUZZTIME) ./internal/spms
 	$(GO) test -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/scan
 
+# Flame-graph starting point for perf work: profile a representative
+# simulated run.  Override PROFILE_ARGS for other workloads, e.g.
+# PROFILE_ARGS="-algo mm -machine mc3 -n 16384 -parallel 4 -repeat 5".
+PROFILE_ARGS ?= -algo sort -machine hm4 -n 8192 -repeat 10
+profile:
+	$(GO) run ./cmd/hmsim $(PROFILE_ARGS) -cpuprofile cpu.out -memprofile mem.out
+	@echo "inspect with: $(GO) tool pprof -top cpu.out   (or -http=:8080)"
+
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt cpu.out mem.out

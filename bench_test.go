@@ -8,6 +8,9 @@ package oblivhm_test
 
 import (
 	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
 	"testing"
 
 	"oblivhm/internal/core"
@@ -17,10 +20,52 @@ import (
 	"oblivhm/internal/spms"
 )
 
+// parallelEnvWorkers reads OBLIVHM_PARALLEL: when set to a positive worker
+// count, every simulated MO bench runs under core.WithParallel(w) and is
+// checked against an untimed serial reference run — the CI bench-smoke job
+// uses this to fail on metric divergence (never on wall-clock).
+func parallelEnvWorkers(b *testing.B) int {
+	v := os.Getenv("OBLIVHM_PARALLEL")
+	if v == "" {
+		return 0
+	}
+	w, err := strconv.Atoi(v)
+	if err != nil || w <= 0 {
+		b.Fatalf("OBLIVHM_PARALLEL=%q: want a positive worker count", v)
+	}
+	return w
+}
+
+// moMetricsEqual compares the metric tuple the determinism contract pins.
+func moMetricsEqual(a, b harness.MOResult) bool {
+	if a.Steps != b.Steps || a.Steals != b.Steals || !reflect.DeepEqual(a.PlacedAt, b.PlacedAt) {
+		return false
+	}
+	if len(a.Levels) != len(b.Levels) {
+		return false
+	}
+	for i := range a.Levels {
+		if a.Levels[i].MaxMisses != b.Levels[i].MaxMisses {
+			return false
+		}
+	}
+	return true
+}
+
 // benchMO runs a simulated MO workload once per iteration and reports the
 // model metrics of the final run.
 func benchMO(b *testing.B, algo, machine string, n int, opts ...core.Opt) {
 	b.Helper()
+	var serial *harness.MOResult
+	if w := parallelEnvWorkers(b); w > 0 {
+		ref, err := harness.RunMO(algo, machine, n, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serial = &ref
+		opts = append(append([]core.Opt{}, opts...), core.WithParallel(w))
+		b.ResetTimer() // the serial reference run is not part of the measurement
+	}
 	var res harness.MOResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -28,6 +73,10 @@ func benchMO(b *testing.B, algo, machine string, n int, opts ...core.Opt) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+	if serial != nil && !moMetricsEqual(*serial, res) {
+		b.Fatalf("parallel metrics diverged from serial:\n  serial   %+v steals=%d placed=%v\n  parallel %+v steals=%d placed=%v",
+			serial.Steps, serial.Steals, serial.PlacedAt, res.Steps, res.Steals, res.PlacedAt)
 	}
 	b.ReportMetric(float64(res.Steps), "vsteps")
 	for _, l := range res.Levels {

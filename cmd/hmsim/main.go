@@ -6,13 +6,18 @@
 //
 //	hmsim -algo fft -n 4096 -machine hm4
 //	hmsim -algo gep -n 4096 -machine mc3 -flat   (E13 scheduler ablation)
+//	hmsim -algo sort -n 4096 -parallel 4         (parallel cache replay)
+//	hmsim -algo mm -n 4096 -repeat 10 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"oblivhm/internal/core"
 	"oblivhm/internal/harness"
@@ -26,6 +31,10 @@ func main() {
 	steal := flag.Bool("steal", false, "extension: idle cores steal unstarted strands")
 	trace := flag.Bool("trace", false, "print a scheduler trace summary and core timeline")
 	quantum := flag.Int64("quantum", 32, "virtual-time quantum (ops per core per round)")
+	parallel := flag.Int("parallel", 0, "parallel cache-replay workers (0 = serial, -1 = GOMAXPROCS); metrics are byte-identical either way")
+	repeat := flag.Int("repeat", 1, "run the workload this many times (profiling/timing)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 
 	var opts []core.Opt
@@ -36,20 +45,66 @@ func main() {
 	if *steal {
 		opts = append(opts, core.WithStealing())
 	}
+	if *parallel != 0 {
+		opts = append(opts, core.WithParallel(*parallel))
+	}
 	tr := &core.Trace{}
 	if *trace {
 		opts = append(opts, core.WithTrace(tr))
 	}
-	res, err := harness.RunMO(*algo, *machine, *n, opts...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "hmsim:", err)
-		os.Exit(1)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
+
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	var res harness.MOResult
+	var err error
+	start := time.Now()
+	for i := 0; i < *repeat; i++ {
+		res, err = harness.RunMO(*algo, *machine, *n, opts...)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	elapsed := time.Since(start)
+
 	fmt.Print(res)
+	if *repeat > 1 {
+		fmt.Printf("wall-clock: %v total, %v/run over %d runs\n",
+			elapsed.Round(time.Millisecond), (elapsed / time.Duration(*repeat)).Round(time.Microsecond), *repeat)
+	}
 	if *trace {
 		cfg, _ := harness.Machine(*machine)
 		fmt.Println()
 		fmt.Print(tr.Summary())
 		fmt.Print(tr.Timeline(cfg.Cores(), 72))
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hmsim:", err)
+	os.Exit(1)
 }

@@ -614,9 +614,13 @@ func (e *engine) startsNow(slot *cacheSlot, space int64) bool {
 }
 
 // leastLoadedCore picks the core with the fewest live strands in the shadow
-// of cache, lowest index on ties (deterministic).  Chaos breaks the tie
-// randomly instead — still among the least-loaded cores, so the placement
-// rule itself is preserved.
+// of cache.  The scan runs in ascending core index over [CoreLo, CoreHi) and
+// only a strictly smaller load displaces the running best, so ties resolve
+// to the lowest-indexed core.  This total order is part of the determinism
+// contract: placements must not depend on anything but engine state, which
+// is what lets the parallel replay backend (WithParallel) reproduce the
+// schedule byte for byte.  Chaos breaks the tie randomly instead — still
+// among the least-loaded cores, so the placement rule itself is preserved.
 func (e *engine) leastLoadedCore(c *hm.Cache) int {
 	best, bestLoad := c.CoreLo, int(^uint(0)>>1)
 	for i := c.CoreLo; i < c.CoreHi; i++ {
@@ -639,9 +643,13 @@ func (e *engine) leastLoadedCore(c *hm.Cache) int {
 	return best
 }
 
-// leastLoadedSlot picks the cache slot with the smallest reserved space
-// among the level-j caches under lambda, lowest index on ties (randomized
-// among the tied slots under chaos).
+// leastLoadedSlot picks the cache slot minimising the load key
+// used+len(queue) — reserved words plus tasks waiting in Q(λ), not reserved
+// space alone — among the level-j caches under lambda.  Under yields those
+// caches in ascending index order and only a strictly smaller key displaces
+// the running best, so ties resolve to the lowest-indexed cache, the same
+// deterministic total order leastLoadedCore pins.  Under chaos the tie is
+// randomized among the slots sharing the minimal key.
 func (e *engine) leastLoadedSlot(lambda *hm.Cache, j int) *cacheSlot {
 	under := e.m.Under(lambda, j)
 	var best *cacheSlot

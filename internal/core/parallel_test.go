@@ -1,0 +1,169 @@
+package core
+
+// Engine-level tests for the parallel replay backend (WithParallel): full
+// runs on identical machines, serial vs parallel, must agree on every
+// observable the determinism contract freezes — Steps, the complete machine
+// snapshot, placements, steals and the heap contents — including when chaos
+// and the invariant checker (which drains the pipeline every round) are
+// layered on top.  Plus white-box pins of the tie-break total orders the
+// contract, and therefore the parallel backend's byte-identity claim,
+// depends on.
+
+import (
+	"reflect"
+	"testing"
+
+	"oblivhm/internal/hm"
+)
+
+// parallelWorkload is a representative engine shape: binary SB recursion
+// with PFor leaves over a shared array, enough strands to keep several
+// cores busy and enough traffic to seal multiple replay batches.
+func parallelWorkload(s *Session) func(*Ctx) {
+	v := s.NewI64(1 << 12)
+	var rec func(c *Ctx, lo, hi int64, space int64)
+	rec = func(c *Ctx, lo, hi, space int64) {
+		if hi-lo <= 1<<8 {
+			c.PFor(int(hi-lo), 1, func(cc *Ctx, i0, i1 int) {
+				for i := i0; i < i1; i++ {
+					a := v.Base + Addr(lo+int64(i))
+					cc.StoreI(a, cc.LoadI(a)+lo+int64(i))
+				}
+			})
+			return
+		}
+		mid := (lo + hi) / 2
+		c.SpawnSB(
+			Task{Space: space / 2, Fn: func(cc *Ctx) { rec(cc, lo, mid, space/2) }},
+			Task{Space: space / 2, Fn: func(cc *Ctx) { rec(cc, mid, hi, space/2) }},
+		)
+	}
+	return func(c *Ctx) { rec(c, 0, 1<<12, 1<<14) }
+}
+
+func checkParallelEquiv(t *testing.T, name string, cfg hm.Config, opts []Opt) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		serial := runEquiv(cfg, 1<<15, opts, parallelWorkload, false)
+		for _, w := range []int{2, 4, 8} {
+			popts := append(append([]Opt{}, opts...), WithParallel(w))
+			par := runEquiv(cfg, 1<<15, popts, parallelWorkload, false)
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("workers=%d diverged from serial:\nserial   %+v\nparallel %+v", w, serial, par)
+			}
+		}
+	})
+}
+
+// TestParallelBackendMatchesSerial: the base matrix across machine shapes
+// and scheduler options.
+func TestParallelBackendMatchesSerial(t *testing.T) {
+	for mname, cfg := range equivMachines() {
+		checkParallelEquiv(t, mname, cfg, nil)
+		checkParallelEquiv(t, mname+"/steal", cfg, []Opt{WithStealing()})
+		checkParallelEquiv(t, mname+"/flat", cfg, []Opt{WithFlatScheduler()})
+		checkParallelEquiv(t, mname+"/q8", cfg, []Opt{WithQuantum(8)})
+	}
+}
+
+// TestParallelBackendUnderChaos: chaos draws happen on the engine goroutine
+// and never depend on cache state, so a chaos seed must perturb the serial
+// and parallel runs identically — and the invariant checker, which drains
+// the replay pipeline after every round, must stay green.
+func TestParallelBackendUnderChaos(t *testing.T) {
+	cfg := hm.HM4(4, 4)
+	for seed := int64(0); seed < 4; seed++ {
+		serial := runEquiv(cfg, 1<<15, []Opt{WithChaos(seed)}, parallelWorkload, false)
+		par := runEquiv(cfg, 1<<15, []Opt{WithChaos(seed), WithParallel(4)}, parallelWorkload, false)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("seed %d: chaos schedule diverged between serial and parallel runs", seed)
+		}
+	}
+}
+
+// TestParallelBackendRepeatedRuns: one session, several runs — the pipeline
+// is stopped at the end of every TryRun and must restart cleanly, with
+// cold-start metrics repeating exactly.
+func TestParallelBackendRepeatedRuns(t *testing.T) {
+	m := hm.MustMachine(hm.MC3(8))
+	s := NewSim(m, WithParallel(4))
+	root := parallelWorkload(s)
+	first := s.RunCold(1<<15, root)
+	for i := 0; i < 3; i++ {
+		again := s.RunCold(1<<15, root)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged from the first cold run:\nfirst %+v\nagain %+v", i+2, first, again)
+		}
+	}
+}
+
+// TestLeastLoadedCoreTieBreak pins the deterministic total order of core
+// placement: ascending scan over the shadow, strictly-smaller-load wins, so
+// equal loads resolve to the lowest core index.  The parallel replay
+// backend's byte-identity argument assumes exactly this order.
+func TestLeastLoadedCoreTieBreak(t *testing.T) {
+	m := hm.MustMachine(hm.MC3(8))
+	e := NewSim(m).eng
+	top := m.Top()
+
+	if got := e.leastLoadedCore(top); got != 0 {
+		t.Errorf("all loads zero: picked core %d, want 0", got)
+	}
+	for i := range e.load {
+		e.load[i] = 5
+	}
+	e.load[3], e.load[6] = 2, 2
+	if got := e.leastLoadedCore(top); got != 3 {
+		t.Errorf("tie between cores 3 and 6: picked %d, want the lower index 3", got)
+	}
+	e.load[6] = 1
+	if got := e.leastLoadedCore(top); got != 6 {
+		t.Errorf("core 6 strictly least loaded: picked %d", got)
+	}
+
+	// Restricted shadow: the scan starts at CoreLo, not core 0.
+	m4 := hm.MustMachine(hm.HM4(4, 4))
+	e4 := NewSim(m4).eng
+	l2 := m4.ByLevel[1][2] // covers cores [8, 12)
+	if got := e4.leastLoadedCore(l2); got != l2.CoreLo {
+		t.Errorf("empty shadow of L2[2]: picked core %d, want CoreLo %d", got, l2.CoreLo)
+	}
+	for i := l2.CoreLo; i < l2.CoreHi; i++ {
+		e4.load[i] = 1
+	}
+	e4.load[9], e4.load[11] = 0, 0
+	if got := e4.leastLoadedCore(l2); got != 9 {
+		t.Errorf("tie between cores 9 and 11: picked %d, want 9", got)
+	}
+}
+
+// TestLeastLoadedSlotTieBreak pins the slot placement order: the key is
+// used+len(queue) (reserved words plus queued tasks), candidates come in
+// ascending cache index, and ties resolve to the lowest index.
+func TestLeastLoadedSlotTieBreak(t *testing.T) {
+	m := hm.MustMachine(hm.HM4(4, 4))
+	e := NewSim(m).eng
+	top := m.Top()
+
+	if got := e.leastLoadedSlot(top, 2); got != e.slots[1][0] {
+		t.Errorf("all slots empty: picked L2[%d], want L2[0]", got.cache.Index)
+	}
+	for _, s := range e.slots[1] {
+		s.used = 100
+	}
+	e.slots[1][1].used, e.slots[1][3].used = 40, 40
+	if got := e.leastLoadedSlot(top, 2); got != e.slots[1][1] {
+		t.Errorf("tie between L2[1] and L2[3]: picked L2[%d], want the lower index 1", got.cache.Index)
+	}
+	// Queue length is part of the key: one queued task breaks the tie.
+	e.slots[1][1].queue = append(e.slots[1][1].queue, pending{})
+	if got := e.leastLoadedSlot(top, 2); got != e.slots[1][3] {
+		t.Errorf("L2[1] has a queued task: picked L2[%d], want L2[3]", got.cache.Index)
+	}
+	e.slots[1][1].queue = nil
+	// A strictly smaller key at a higher index wins over lower indices.
+	e.slots[1][2].used = 39
+	if got := e.leastLoadedSlot(top, 2); got != e.slots[1][2] {
+		t.Errorf("L2[2] strictly least loaded: picked L2[%d], want 2", got.cache.Index)
+	}
+}

@@ -1,0 +1,134 @@
+package harness
+
+// Parallel-vs-serial equivalence at the harness level: the full golden
+// algo × machine matrix re-run under core.WithParallel must reproduce the
+// serial metric tuple byte for byte, for every worker count, and a 16-seed
+// chaos sweep must reproduce the serial *chaos* schedules too (the seeded
+// perturbation stream lives on the engine goroutine, so thread interleaving
+// in the replay pipeline cannot touch it).  Together with golden_test.go
+// this closes the loop: serial == goldens, parallel == serial, therefore
+// parallel == goldens.
+//
+// CI runs this file under -race (the workflow's parallel-equivalence step);
+// that is the half of the contract the metrics cannot show.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"oblivhm/internal/core"
+)
+
+var parallelWorkerCounts = []int{2, 4, 8}
+
+// measureParallel is measure() with WithParallel(workers) appended.
+func measureParallel(t *testing.T, machine string, gc goldenCase, workers int, extra ...core.Opt) goldenMetrics {
+	t.Helper()
+	opts := append(gc.opts(), extra...)
+	opts = append(opts, core.WithParallel(workers))
+	res, err := RunMO(gc.Algo, machine, gc.N, opts...)
+	if err != nil {
+		t.Fatalf("%s on %s (workers=%d): %v", gc.key(), machine, workers, err)
+	}
+	m := goldenMetrics{Steps: res.Steps, PlacedAt: res.PlacedAt, Steals: res.Steals}
+	for _, l := range res.Levels {
+		m.MaxMisses = append(m.MaxMisses, l.MaxMisses)
+	}
+	return m
+}
+
+// TestParallelMatchesSerialGoldenMatrix: the full golden suite, every worker
+// count against a serial run of the same case.  In -short mode each case
+// keeps one rotating worker count instead of all three.
+func TestParallelMatchesSerialGoldenMatrix(t *testing.T) {
+	suite := goldenSuite()
+	var machines []string
+	for m := range suite {
+		machines = append(machines, m)
+	}
+	sort.Strings(machines)
+	for _, machine := range machines {
+		machine := machine
+		cases := suite[machine]
+		t.Run(machine, func(t *testing.T) {
+			t.Parallel()
+			for i, gc := range cases {
+				serial := measure(t, machine, gc)
+				workers := parallelWorkerCounts
+				if testing.Short() {
+					workers = parallelWorkerCounts[i%len(parallelWorkerCounts) : i%len(parallelWorkerCounts)+1]
+				}
+				for _, w := range workers {
+					if par := measureParallel(t, machine, gc, w); !reflect.DeepEqual(serial, par) {
+						t.Errorf("%s workers=%d diverged from serial:\n  serial   %+v\n  parallel %+v",
+							gc.key(), w, serial, par)
+					}
+				}
+			}
+		})
+	}
+}
+
+// parallelChaosPairs covers all five machine shapes with sizes small enough
+// that the 16-seed × worker-count sweep stays cheap (chaos implies per-round
+// invariant checks, which drain the replay pipeline every round — the
+// worst case for the parallel backend, which is exactly why it is swept).
+var parallelChaosPairs = []struct {
+	machine string
+	gc      goldenCase
+}{
+	{"mc3", goldenCase{Algo: "sort", N: 1 << 7}},
+	{"mc3", goldenCase{Algo: "scan", N: 1 << 10}},
+	{"mc3a", goldenCase{Algo: "fft", N: 1 << 7}},
+	{"hm4", goldenCase{Algo: "mm", N: 1 << 8}},
+	{"hm4", goldenCase{Algo: "sort", N: 1 << 7, Opt: "steal"}},
+	{"hm4", goldenCase{Algo: "mt", N: 1 << 8, Opt: "q8"}},
+	{"hm5", goldenCase{Algo: "lr", N: 1 << 6}},
+	{"seq", goldenCase{Algo: "fft", N: 1 << 7}},
+}
+
+// TestParallelChaosSweepMatchesSerial: for every pair and every chaos seed,
+// the parallel run must land on the identical perturbed schedule.  -short
+// keeps a rotating pair of seeds per case, mirroring the serial chaos sweep.
+func TestParallelChaosSweepMatchesSerial(t *testing.T) {
+	for i, pc := range parallelChaosPairs {
+		i, pc := i, pc
+		t.Run(pc.machine+"/"+pc.gc.key(), func(t *testing.T) {
+			t.Parallel()
+			seeds := make([]int64, 0, chaosSeeds)
+			for s := 0; s < chaosSeeds; s++ {
+				seeds = append(seeds, int64(s))
+			}
+			if testing.Short() {
+				seeds = []int64{int64(i % chaosSeeds), int64((i + 5) % chaosSeeds)}
+			}
+			for _, seed := range seeds {
+				serialRes, err := RunMO(pc.gc.Algo, pc.machine, pc.gc.N, append(pc.gc.opts(), core.WithChaos(seed))...)
+				if err != nil {
+					t.Fatalf("serial seed %d: %v", seed, err)
+				}
+				serial := metricsTuple(serialRes)
+				for _, w := range parallelWorkerCounts {
+					parRes, err := RunMO(pc.gc.Algo, pc.machine, pc.gc.N,
+						append(pc.gc.opts(), core.WithChaos(seed), core.WithParallel(w))...)
+					if err != nil {
+						t.Fatalf("seed %d workers=%d: %v", seed, w, err)
+					}
+					if par := metricsTuple(parRes); !reflect.DeepEqual(serial, par) {
+						t.Errorf("seed %d workers=%d: chaos schedule diverged:\n  serial   %+v\n  parallel %+v",
+							seed, w, serial, par)
+					}
+				}
+			}
+		})
+	}
+}
+
+func metricsTuple(r MOResult) goldenMetrics {
+	m := goldenMetrics{Steps: r.Steps, PlacedAt: r.PlacedAt, Steals: r.Steals}
+	for _, l := range r.Levels {
+		m.MaxMisses = append(m.MaxMisses, l.MaxMisses)
+	}
+	return m
+}

@@ -41,6 +41,12 @@ type Machine struct {
 	// path pointer chase.
 	ownMask [][]uint64
 
+	// par, when non-nil, streams every Load/Store into the parallel replay
+	// pipeline (parsim.go) instead of the in-line access walk.  The holders
+	// machinery above goes unused in that mode: each shard keeps its own
+	// partition of the masks.
+	par *parSim
+
 	// Steps is advanced by the engine (virtual time); kept here so stats
 	// snapshots carry both time and traffic.
 	Steps int64
@@ -249,7 +255,12 @@ func (m *Machine) Load(core int, a Addr) uint64 {
 	if a < 0 || a >= m.heap {
 		panic(&AddressError{Core: core, Addr: a, Heap: int64(m.heap)})
 	}
-	m.access(core, a, false)
+	if m.par != nil {
+		m.Accesses++
+		m.par.record(core, a, false)
+	} else {
+		m.access(core, a, false)
+	}
 	return m.mem[a]
 }
 
@@ -258,7 +269,12 @@ func (m *Machine) Store(core int, a Addr, v uint64) {
 	if a < 0 || a >= m.heap {
 		panic(&AddressError{Core: core, Addr: a, Write: true, Heap: int64(m.heap)})
 	}
-	m.access(core, a, true)
+	if m.par != nil {
+		m.Accesses++
+		m.par.record(core, a, true)
+	} else {
+		m.access(core, a, true)
+	}
 	m.mem[a] = v
 }
 
@@ -281,8 +297,10 @@ func (m *Machine) PeekF64(a Addr) float64    { return math.Float64frombits(m.Pee
 func (m *Machine) PokeF64(a Addr, v float64) { m.Poke(a, math.Float64bits(v)) }
 
 // ResetStats zeroes every cache counter and the access/step counters;
-// contents and heap are preserved.
+// contents and heap are preserved.  Any in-flight parallel replay is drained
+// first so the zeroing cannot race a counter update.
 func (m *Machine) ResetStats() {
+	m.SyncReplay()
 	for _, level := range m.ByLevel {
 		for _, c := range level {
 			c.ResetStats()
@@ -294,6 +312,10 @@ func (m *Machine) ResetStats() {
 
 // FlushCaches empties every cache (cold restart) and resets stats.
 func (m *Machine) FlushCaches() {
+	m.SyncReplay()
+	if m.par != nil {
+		m.par.resetHolders()
+	}
 	for i, level := range m.ByLevel {
 		for _, c := range level {
 			c.Flush()
@@ -326,8 +348,10 @@ type Snapshot struct {
 	Levels   []LevelStats
 }
 
-// Stats returns the current per-level aggregates.
+// Stats returns the current per-level aggregates, draining any in-flight
+// parallel replay first so the snapshot is exact.
 func (m *Machine) Stats() Snapshot {
+	m.SyncReplay()
 	s := Snapshot{Steps: m.Steps, Accesses: m.Accesses}
 	for i, level := range m.ByLevel {
 		ls := LevelStats{Level: i + 1, Caches: len(level)}

@@ -1,0 +1,521 @@
+package hm
+
+// Parallel cache replay (DESIGN.md §8).
+//
+// The engine charges every load/store exactly one virtual operation whether
+// it hits or misses, so the scheduler's decisions — round boundaries, budget
+// exhaustion, admissions, placements, steals, chaos draws — are completely
+// independent of cache state.  The cache hierarchy is a pure observer of the
+// access stream.  That is the determinism contract's gift to parallelism:
+// the stream can be recorded on the execution thread and replayed into the
+// cache model on other OS threads, and every counter comes out byte-identical
+// to the serial walk because each cache consumes exactly its serial input
+// sequence in its serial order.
+//
+// Sharding is vertical, by cache subtree.  Let split be the deepest level
+// whose cache count exceeds one (q is monotone nonincreasing going up, so
+// levels above split all have a single cache).  The tree below and including
+// level split partitions into q_split disjoint subtrees, one per level-split
+// cache; each subtree is one shard, replayed by the worker pool.  Levels
+// above split form a single chain replayed by a dedicated in-order worker.
+// This decomposition is exact:
+//
+//   - An access by core c touches, at levels <= split, only caches of c's
+//     shard (its path), so per-shard replay in global segment order
+//     reproduces each cache's serial access sequence.
+//   - Coherence invalidations at level i <= split only ever target level-i
+//     caches, each of which lies in exactly one shard; a shard derives them
+//     from the full stream (its own cores' accesses plus the write records
+//     of foreign segments) against shard-local holder masks, which
+//     partition the serial holder masks.
+//   - Levels above split have q = 1: the only cache is on every core's
+//     path, so it can never receive an off-path invalidation, and its
+//     holder bit is write-only (invalidateOffPath masks it out).  The chain
+//     worker therefore needs no holder bookkeeping at all.
+//   - A record reaches level split+1 in the serial walk iff it missed every
+//     level <= split; shards forward exactly those records, in order.
+//
+// When split is 0 (a single-core machine: the private-L1 rule forces
+// q_1 = p) there are no shards and the chain worker replays whole segments
+// from level 1.
+//
+// Lifecycle: the pipeline starts lazily on the first sealed batch, is
+// drained by sync() (a fence batch round-trips through the chain worker),
+// and torn down by stop(); the core engine stops the pipeline at the end of
+// every run so sessions need no Close.  Batches are recycled through a
+// bounded free list, which also backpressures the recording thread when the
+// replay falls behind.
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+const (
+	// parSegCap caps one segment (a maximal single-core run of accesses).
+	// The engine's lockstep rounds switch cores every `quantum` operations,
+	// so most segments are far smaller; the cap only matters during solo
+	// batch grants.
+	parSegCap = 4096
+	// parBatchRecs is the record count at which a batch is sealed and
+	// handed to the pipeline.
+	parBatchRecs = 1 << 16
+	// parMaxBatches bounds in-flight batches; once the pipeline is this far
+	// behind, the recording thread blocks on the recycle list.
+	parMaxBatches = 8
+)
+
+// parSeg is a maximal run of consecutive accesses issued by one core.
+// Segment order across a batch sequence is global issue order (the engine
+// records from a single goroutine), which is what shard and chain replay
+// rely on.
+type parSeg struct {
+	core int
+	recs []uint64 // addr<<1 | writeBit, in issue order
+	// wrecs duplicates the write records (in order) when coherence sharding
+	// is active: foreign shards only need a segment's writes, and scanning
+	// the full stream once per shard would multiply the replay work by the
+	// shard count.  Processing a foreign segment's writes as one block is
+	// order-exact: segments never interleave, so every serial interleaving
+	// constraint is between whole segments, which the batch order preserves.
+	wrecs []uint64
+}
+
+// parBatch is the unit of pipeline work: sealed segments plus, per segment,
+// the records that missed every shard level (filled by the owning shard,
+// consumed in order by the chain worker).
+type parBatch struct {
+	segs  []*parSeg
+	nseg  int
+	nrec  int
+	out   [][]uint64
+	fence chan struct{} // non-nil marks a drain fence, not data
+}
+
+type parTask struct {
+	b  *parBatch
+	sh *parShard
+	wg *sync.WaitGroup
+}
+
+// parShard owns one level-split subtree: levels 1..levels of the cores in
+// [coreLo, coreHi).  All its mutable state (its caches, its holder masks)
+// is touched only by the worker currently running this shard's task, and
+// batches are fanned one at a time, so shard replay needs no locks.
+type parShard struct {
+	sim            *parSim
+	coreLo, coreHi int
+	levels         int        // replays cache levels 1..levels
+	base           []int      // base[i]: ByLevel[i] index of this shard's first cache
+	ownLocal       [][]uint64 // [core-coreLo][i]: shard-local holder bit of the core's level-(i+1) cache
+	holders        [][]uint64 // shard-local holder masks by level, nil without coherence
+}
+
+// parSim is the replay pipeline attached to a Machine.
+type parSim struct {
+	m           *Machine
+	workers     int  // shard workers to run (requested; capped at shard count)
+	split       int  // shard levels; levels split+1..h replay on the chain worker
+	trackWrites bool // coherence + multiple shards: segments keep a writes-only side list
+
+	shards []*parShard
+
+	// Recording state (execution thread only).
+	cur    *parSeg
+	b      *parBatch
+	nalloc int
+
+	// Pipeline state.
+	started  bool
+	nworkers int
+	pending  chan *parBatch // sealed batches, in issue order
+	taskCh   chan parTask   // shard fan-out
+	chainCh  chan *parBatch // batches with shard replay done, still in order
+	freeB    chan *parBatch // recycled batches
+	wg       sync.WaitGroup
+}
+
+// EnableParallelReplay switches the machine's cache simulation to the
+// parallel replay pipeline.  workers <= 0 selects GOMAXPROCS.  Counters and
+// stats stay byte-identical to the serial walk; reading them (Stats,
+// ResetStats, FlushCaches) drains the pipeline first.  Callers that create
+// pipelines outside a core session should StopReplay when done to release
+// the worker goroutines.
+func (m *Machine) EnableParallelReplay(workers int) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if m.par != nil {
+		m.par.workers = workers
+		return
+	}
+	split := 0
+	for i := len(m.ByLevel); i >= 1; i-- {
+		if len(m.ByLevel[i-1]) > 1 {
+			split = i
+			break
+		}
+	}
+	p := &parSim{m: m, workers: workers, split: split}
+	p.trackWrites = m.Cfg.Coherence && split > 0
+	p.freeB = make(chan *parBatch, parMaxBatches)
+	if split > 0 {
+		nsh := len(m.ByLevel[split-1])
+		coresPer := m.Cores() / nsh
+		for s := 0; s < nsh; s++ {
+			sh := &parShard{
+				sim:    p,
+				coreLo: s * coresPer,
+				coreHi: (s + 1) * coresPer,
+				levels: split,
+				base:   make([]int, split),
+			}
+			for i := 0; i < split; i++ {
+				sh.base[i] = s * (len(m.ByLevel[i]) / nsh)
+			}
+			if m.Cfg.Coherence {
+				sh.holders = make([][]uint64, split)
+				sh.ownLocal = make([][]uint64, coresPer)
+				for c := 0; c < coresPer; c++ {
+					sh.ownLocal[c] = make([]uint64, split)
+					for i := 0; i < split; i++ {
+						sh.ownLocal[c][i] = 1 << uint(m.path[sh.coreLo+c][i].Index-sh.base[i])
+					}
+				}
+			}
+			p.shards = append(p.shards, sh)
+		}
+	}
+	m.par = p
+}
+
+// ParallelReplay reports whether the parallel replay pipeline is enabled.
+func (m *Machine) ParallelReplay() bool { return m.par != nil }
+
+// SyncReplay drains the replay pipeline: on return every recorded access has
+// been applied to the caches.  No-op when parallel replay is off or idle.
+func (m *Machine) SyncReplay() {
+	if m.par != nil {
+		m.par.sync()
+	}
+}
+
+// StopReplay drains the pipeline and releases its goroutines.  The machine
+// stays in parallel mode: the next access restarts the pipeline lazily.
+func (m *Machine) StopReplay() {
+	if m.par != nil {
+		m.par.stop()
+	}
+}
+
+// record appends one access to the current segment, sealing segments on core
+// switches and batches on size.  Execution thread only.
+func (p *parSim) record(core int, a Addr, write bool) {
+	s := p.cur
+	if s == nil || s.core != core || len(s.recs) >= parSegCap {
+		s = p.nextSeg(core)
+	}
+	rec := uint64(a) << 1
+	if write {
+		rec |= 1
+		if p.trackWrites {
+			s.wrecs = append(s.wrecs, rec)
+		}
+	}
+	s.recs = append(s.recs, rec)
+}
+
+// nextSeg seals the current segment, flushes the batch if full, and opens a
+// fresh segment for core.
+func (p *parSim) nextSeg(core int) *parSeg {
+	b := p.b
+	if p.cur != nil {
+		b.nrec += len(p.cur.recs)
+		p.cur = nil
+		if b.nrec >= parBatchRecs {
+			p.dispatch(b)
+			b = nil
+		}
+	}
+	if b == nil {
+		b = p.takeBatch()
+		p.b = b
+	}
+	var s *parSeg
+	if b.nseg < len(b.segs) {
+		s = b.segs[b.nseg]
+		s.recs, s.wrecs = s.recs[:0], s.wrecs[:0]
+	} else {
+		s = &parSeg{recs: make([]uint64, 0, parSegCap)}
+		b.segs = append(b.segs, s)
+	}
+	b.nseg++
+	s.core = core
+	p.cur = s
+	return s
+}
+
+// takeBatch returns a recycled batch, or a fresh one while under the
+// in-flight cap; at the cap it blocks until the chain worker recycles one,
+// backpressuring the recording thread.
+func (p *parSim) takeBatch() *parBatch {
+	if p.nalloc < parMaxBatches {
+		select {
+		case b := <-p.freeB:
+			b.nseg, b.nrec = 0, 0
+			return b
+		default:
+			p.nalloc++
+			return &parBatch{}
+		}
+	}
+	b := <-p.freeB
+	b.nseg, b.nrec = 0, 0
+	return b
+}
+
+func (p *parSim) dispatch(b *parBatch) {
+	if !p.started {
+		p.start()
+	}
+	p.pending <- b
+}
+
+func (p *parSim) start() {
+	p.pending = make(chan *parBatch, parMaxBatches)
+	p.chainCh = make(chan *parBatch, parMaxBatches)
+	nw := p.workers
+	if nw > len(p.shards) {
+		nw = len(p.shards)
+	}
+	p.nworkers = nw
+	p.wg.Add(2 + nw)
+	if nw > 0 {
+		p.taskCh = make(chan parTask, len(p.shards))
+		for i := 0; i < nw; i++ {
+			go p.workerLoop()
+		}
+	}
+	go p.dispatchLoop()
+	go p.chainLoop()
+	p.started = true
+}
+
+// dispatchLoop fans each batch across every shard and forwards it, still in
+// order, to the chain worker once all shards are done.  The per-batch
+// barrier is what keeps each shard single-threaded.
+func (p *parSim) dispatchLoop() {
+	defer p.wg.Done()
+	if p.taskCh != nil {
+		defer close(p.taskCh)
+	}
+	var wg sync.WaitGroup
+	for b := range p.pending {
+		if b.fence == nil && b.nseg > 0 && len(p.shards) > 0 {
+			for len(b.out) < b.nseg {
+				b.out = append(b.out, nil)
+			}
+			if p.nworkers == 1 {
+				for _, sh := range p.shards {
+					sh.run(b)
+				}
+			} else {
+				wg.Add(len(p.shards))
+				for _, sh := range p.shards {
+					p.taskCh <- parTask{b, sh, &wg}
+				}
+				wg.Wait()
+			}
+		}
+		p.chainCh <- b
+	}
+	close(p.chainCh)
+}
+
+func (p *parSim) workerLoop() {
+	defer p.wg.Done()
+	for t := range p.taskCh {
+		t.sh.run(t.b)
+		t.wg.Done()
+	}
+}
+
+// chainLoop replays the single-cache chain above the split level, in global
+// order.  With no shards (single-core machines) it replays whole segments
+// from level 1.  It also recycles batches and releases fences, so a fence
+// arriving here proves every earlier record is fully applied.
+func (p *parSim) chainLoop() {
+	defer p.wg.Done()
+	m := p.m
+	h1 := len(m.ByLevel)
+	for b := range p.chainCh {
+		if b.fence != nil {
+			close(b.fence)
+			continue
+		}
+		for k := 0; k < b.nseg; k++ {
+			recs := b.segs[k].recs
+			if len(p.shards) > 0 {
+				recs = b.out[k]
+			}
+			for _, rec := range recs {
+				a, write := int64(rec>>1), rec&1 != 0
+				for i := p.split; i < h1; i++ {
+					if m.ByLevel[i][0].access(a>>m.shift[i], write) {
+						break
+					}
+				}
+			}
+			if len(p.shards) > 0 {
+				b.out[k] = b.out[k][:0]
+			}
+		}
+		p.freeB <- b // never blocks: nalloc <= parMaxBatches == cap
+	}
+}
+
+// sync seals and flushes the open batch, then round-trips a fence through
+// the pipeline.  On return the caches reflect every recorded access.
+func (p *parSim) sync() {
+	if p.cur != nil {
+		p.b.nrec += len(p.cur.recs)
+		p.cur = nil
+	}
+	if p.b != nil && p.b.nseg > 0 {
+		b := p.b
+		p.b = nil
+		p.dispatch(b)
+	}
+	if !p.started {
+		return
+	}
+	f := &parBatch{fence: make(chan struct{})}
+	p.pending <- f
+	<-f.fence
+}
+
+// stop drains the pipeline and joins its goroutines; recording may resume
+// afterwards and restarts the pipeline lazily.
+func (p *parSim) stop() {
+	p.sync()
+	if !p.started {
+		return
+	}
+	close(p.pending)
+	p.wg.Wait()
+	p.started = false
+	p.pending, p.chainCh, p.taskCh = nil, nil, nil
+}
+
+// resetHolders clears the shard-local coherence masks (the parallel
+// counterpart of FlushCaches zeroing Machine.holders).
+func (p *parSim) resetHolders() {
+	for _, sh := range p.shards {
+		for _, h := range sh.holders {
+			for i := range h {
+				h[i] = 0
+			}
+		}
+	}
+}
+
+// run replays one batch against the shard: its own cores' segments walk the
+// shard's cache levels exactly like Machine.access; foreign segments
+// contribute only their writes, as coherence invalidations.  Segments are
+// visited in batch order = global issue order.
+func (sh *parShard) run(b *parBatch) {
+	coherent := sh.holders != nil
+	for k := 0; k < b.nseg; k++ {
+		seg := b.segs[k]
+		if seg.core >= sh.coreLo && seg.core < sh.coreHi {
+			sh.runOwn(b, k, seg)
+		} else if coherent {
+			for _, rec := range seg.wrecs {
+				sh.invalidateLocal(nil, int64(rec>>1))
+			}
+		}
+	}
+}
+
+// runOwn mirrors the level loop of Machine.access over the shard's levels,
+// collecting records that miss every one of them for the chain worker.
+func (sh *parShard) runOwn(b *parBatch, k int, seg *parSeg) {
+	m := sh.sim.m
+	path := m.path[seg.core]
+	coherent := sh.holders != nil
+	var own []uint64
+	if coherent {
+		own = sh.ownLocal[seg.core-sh.coreLo]
+	}
+	out := b.out[k][:0]
+	for _, rec := range seg.recs {
+		a, write := int64(rec>>1), rec&1 != 0
+		hit := false
+		for i := 0; i < sh.levels; i++ {
+			blk := a >> m.shift[i]
+			if path[i].access(blk, write) {
+				hit = true
+				break
+			}
+			if coherent {
+				sh.setHolder(i, blk, own[i])
+			}
+		}
+		if !hit {
+			out = append(out, rec)
+		}
+		if write && coherent {
+			sh.invalidateLocal(own, a)
+		}
+	}
+	b.out[k] = out
+}
+
+// setHolder is Machine.setHolder against the shard-local masks.
+func (sh *parShard) setHolder(i int, b int64, bit uint64) {
+	h := sh.holders[i]
+	if b >= int64(len(h)) {
+		n := int64(len(h)) * 2
+		if n < b+1 {
+			n = b + 1
+		}
+		if n < 1024 {
+			n = 1024
+		}
+		grown := make([]uint64, n)
+		copy(grown, h)
+		h = grown
+		sh.holders[i] = h
+	}
+	h[b] |= bit
+}
+
+// invalidateLocal is Machine.invalidateOffPath restricted to the shard:
+// every holder except keep's bits (nil for a foreign write, whose own path
+// lies in another shard) loses the enclosing block at each shard level.
+func (sh *parShard) invalidateLocal(keep []uint64, a int64) {
+	m := sh.sim.m
+	for i := 0; i < sh.levels; i++ {
+		h := sh.holders[i]
+		b := a >> m.shift[i]
+		if b >= int64(len(h)) {
+			continue
+		}
+		var own uint64
+		if keep != nil {
+			own = keep[i]
+		}
+		rest := h[b] &^ own
+		if rest == 0 {
+			continue
+		}
+		level := m.ByLevel[i]
+		for rest != 0 {
+			j := bits.TrailingZeros64(rest)
+			rest &= rest - 1
+			level[sh.base[i]+j].invalidate(b)
+		}
+		h[b] &= own
+	}
+}

@@ -1,0 +1,163 @@
+package hm
+
+// Stream-level equivalence of the parallel replay pipeline (parsim.go)
+// against the serial access walk: identical pseudo-random load/store
+// sequences driven into two machines of the same preset — one serial, one
+// with EnableParallelReplay — must leave every cache with byte-identical
+// stats and residency, across every preset (coherent trees, the
+// set-associative variant, and the single-core chain) and across worker
+// counts.  The streams deliberately mix per-core working sets with a shared
+// hot region (coherence ping-ponging), long single-core runs (crossing the
+// segment cap) and enough volume to seal several batches.
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+const parTestHeap = 1 << 15
+
+// driveStream issues n identical accesses to both machines.  Loads are
+// value-checked on the spot; the caller compares cache state afterwards.
+func driveStream(t *testing.T, serial, par *Machine, seed int64, n int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	p := serial.Cores()
+	i := 0
+	for i < n {
+		core := rng.Intn(p)
+		runLen := 1 + rng.Intn(64)
+		if rng.Intn(16) == 0 {
+			// Long single-core run: crosses parSegCap, so segment sealing
+			// on size (not just on core switch) gets exercised.
+			runLen = parSegCap + rng.Intn(parSegCap)
+		}
+		for k := 0; k < runLen && i < n; k++ {
+			var a Addr
+			if rng.Intn(3) == 0 {
+				a = Addr(rng.Int63n(512)) // shared hot region: ping-ponging
+			} else {
+				a = Addr(int64(core)*1024 + rng.Int63n(1024))
+			}
+			if rng.Intn(3) == 0 {
+				v := uint64(i)
+				serial.Store(core, a, v)
+				par.Store(core, a, v)
+			} else {
+				sv, pv := serial.Load(core, a), par.Load(core, a)
+				if sv != pv {
+					t.Fatalf("access %d: load core %d addr %d: serial=%d parallel=%d", i, core, a, sv, pv)
+				}
+			}
+			i++
+		}
+	}
+}
+
+// compareMachines asserts per-cache equality of stats and residency plus the
+// aggregate snapshot.  Snapshot/Stats drain the pipeline.
+func compareMachines(t *testing.T, serial, par *Machine, tag string) {
+	t.Helper()
+	ss, ps := serial.Stats(), par.Stats()
+	for i, level := range serial.ByLevel {
+		for j, c := range level {
+			pc := par.ByLevel[i][j]
+			if c.Stats != pc.Stats {
+				t.Errorf("%s: L%d[%d] stats diverge:\n  serial   %+v\n  parallel %+v", tag, i+1, j, c.Stats, pc.Stats)
+			}
+			if c.resident != pc.resident {
+				t.Errorf("%s: L%d[%d] residency diverges: serial %d, parallel %d", tag, i+1, j, c.resident, pc.resident)
+			}
+		}
+	}
+	if serial.Accesses != par.Accesses {
+		t.Errorf("%s: access counts diverge: serial %d, parallel %d", tag, serial.Accesses, par.Accesses)
+	}
+	if !reflect.DeepEqual(ss, ps) {
+		t.Errorf("%s: snapshots diverge:\n  serial   %+v\n  parallel %+v", tag, ss, ps)
+	}
+}
+
+func newPair(t *testing.T, cfg Config, workers int) (serial, par *Machine) {
+	t.Helper()
+	serial, par = MustMachine(cfg), MustMachine(cfg)
+	serial.Alloc(parTestHeap)
+	par.Alloc(parTestHeap)
+	par.EnableParallelReplay(workers)
+	return serial, par
+}
+
+// TestParallelReplayMatchesSerial is the core stream-equivalence matrix:
+// every preset × worker counts spanning fewer and more workers than shards.
+func TestParallelReplayMatchesSerial(t *testing.T) {
+	for name, cfg := range Presets() {
+		for _, workers := range []int{1, 3, 8} {
+			t.Run(fmt.Sprintf("%s/w%d", name, workers), func(t *testing.T) {
+				serial, par := newPair(t, cfg, workers)
+				defer par.StopReplay()
+				driveStream(t, serial, par, 42, 300_000)
+				compareMachines(t, serial, par, name)
+			})
+		}
+	}
+}
+
+// TestParallelReplayLifecycle exercises the drain points mid-stream: a Stats
+// read (sync), a FlushCaches (cold restart incl. shard holder reset) and a
+// StopReplay (teardown + lazy restart) must all leave the two machines in
+// lockstep.
+func TestParallelReplayLifecycle(t *testing.T) {
+	serial, par := newPair(t, HM4(4, 4), 4)
+	defer par.StopReplay()
+
+	driveStream(t, serial, par, 1, 60_000)
+	compareMachines(t, serial, par, "mid-stream stats")
+
+	driveStream(t, serial, par, 2, 60_000)
+	serial.FlushCaches()
+	par.FlushCaches()
+	compareMachines(t, serial, par, "post-flush")
+
+	driveStream(t, serial, par, 3, 60_000)
+	par.StopReplay() // pipeline restarts lazily on the next access
+	driveStream(t, serial, par, 4, 60_000)
+	compareMachines(t, serial, par, "post-stop restart")
+
+	serial.ResetStats()
+	par.ResetStats()
+	driveStream(t, serial, par, 5, 60_000)
+	compareMachines(t, serial, par, "post-reset")
+}
+
+// TestParallelReplayShardGeometry pins the split rule: the deepest level
+// with more than one cache owns the shards, everything above replays on the
+// chain worker, and single-core machines have no shards at all.
+func TestParallelReplayShardGeometry(t *testing.T) {
+	cases := []struct {
+		cfg     Config
+		split   int
+		nshards int
+	}{
+		{Seq(), 0, 0},
+		{MC3(8), 1, 8},
+		{MC3Assoc(8), 1, 8},
+		{HM4(4, 4), 2, 4},
+		{HM5(2, 4, 4), 3, 4},
+	}
+	for _, tc := range cases {
+		m := MustMachine(tc.cfg)
+		m.EnableParallelReplay(4)
+		if m.par.split != tc.split || len(m.par.shards) != tc.nshards {
+			t.Errorf("%s: split=%d shards=%d, want split=%d shards=%d",
+				tc.cfg.Name, m.par.split, len(m.par.shards), tc.split, tc.nshards)
+		}
+		for s, sh := range m.par.shards {
+			want := m.Cores() / tc.nshards
+			if sh.coreHi-sh.coreLo != want || sh.coreLo != s*want {
+				t.Errorf("%s: shard %d covers cores [%d,%d), want width %d", tc.cfg.Name, s, sh.coreLo, sh.coreHi, want)
+			}
+		}
+	}
+}
