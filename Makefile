@@ -3,15 +3,32 @@
 
 GO ?= go
 
-.PHONY: all test bench bench-smoke tables examples vet cover race race-parallel fuzz soak profile clean
+.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel fuzz soak profile clean
 
 all: vet test
 
 test:
 	$(GO) test ./...
 
+# gofmt -l exits 0 even when it lists files, so check its output explicitly
+# instead of relying on the && short-circuit.
 vet:
-	gofmt -l . && $(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) vet ./...
+
+# Build the repo's vettool and run the oblivcheck suite (obliviousness,
+# determinism, hint hygiene) over every package.  See DESIGN.md §9.
+oblivcheck:
+	$(GO) build -o bin/oblivcheck ./cmd/oblivcheck
+	$(GO) vet -vettool=$(CURDIR)/bin/oblivcheck ./...
+
+# One-shot static-check entry point: formatting + go vet + oblivcheck, plus
+# staticcheck when it is installed (CI pins and installs it; local trees
+# without the binary still get the full in-repo suite).
+lint: vet oblivcheck
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "lint: staticcheck not installed, skipping (CI runs it)"; fi
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -76,3 +93,4 @@ profile:
 
 clean:
 	rm -f test_output.txt bench_output.txt cpu.out mem.out
+	rm -rf bin

@@ -1,0 +1,209 @@
+// Package atest is a small stdlib-only analogue of
+// golang.org/x/tools/go/analysis/analysistest: it loads GOPATH-style
+// fixture packages from a testdata directory, runs one analyzer over them,
+// and matches the findings against `// want` expectations in the fixture
+// source.
+//
+// Fixture layout mirrors analysistest: testdata/src/<import/path>/*.go.
+// Imports between fixture packages resolve inside the testdata tree;
+// standard-library imports are type-checked from $GOROOT source, so the
+// harness needs no pre-compiled export data and works offline.
+//
+// An expectation is a comment on the flagged line:
+//
+//	w.P // want `World\.P`
+//
+// Each backquoted or double-quoted string is a regular expression that
+// must match the message of exactly one finding on that line; findings
+// without a matching expectation, and expectations without a finding, both
+// fail the test.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"oblivhm/internal/analysis"
+)
+
+// Run loads each fixture package under testdata/src, applies the analyzer,
+// and reports every mismatch between findings and // want expectations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	l := newLoader(testdata)
+	for _, path := range pkgPaths {
+		p, err := l.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags := analysis.Run([]*analysis.Analyzer{a}, l.fset, p.files, p.pkg, p.info, path)
+		checkExpectations(t, l.fset, path, p.files, diags)
+	}
+}
+
+// ---- fixture loading ----
+
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset *token.FileSet
+	src  string // testdata/src
+	pkgs map[string]*loadedPkg
+	std  types.Importer
+}
+
+func newLoader(testdata string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		src:  filepath.Join(testdata, "src"),
+		pkgs: make(map[string]*loadedPkg),
+		std:  importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// Import resolves an import encountered while type-checking a fixture:
+// fixture-tree packages load recursively, anything else is stdlib.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	if st, err := os.Stat(dir); err == nil && st.IsDir() {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		if p == nil {
+			return nil, fmt.Errorf("import cycle through %s", path)
+		}
+		return p, nil
+	}
+	l.pkgs[path] = nil // cycle guard
+	dir := filepath.Join(l.src, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	cfg := &types.Config{Importer: l}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &loadedPkg{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// ---- expectation matching ----
+
+type want struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	text string
+}
+
+// wantRx pulls the quoted expectations out of a `// want` comment.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+func checkExpectations(t *testing.T, fset *token.FileSet, path string, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, m := range wantRx.FindAllStringSubmatch(text[len("want "):], -1) {
+					lit := m[1]
+					if m[2] != "" || lit == "" {
+						if unq, err := strconv.Unquote(`"` + m[2] + `"`); err == nil {
+							lit = unq
+						}
+					}
+					rx, err := regexp.Compile(lit)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, text: lit})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.rx == nil || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.rx = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding in %s: %s", pos, path, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.rx != nil {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.text)
+		}
+	}
+}

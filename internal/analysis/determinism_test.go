@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"oblivhm/internal/analysis"
+	"oblivhm/internal/analysis/atest"
+)
+
+func TestDeterminismAnalyzer(t *testing.T) {
+	atest.Run(t, "testdata", analysis.Determinism,
+		"oblivhm/internal/detfix", // the full positive/negative matrix
+		"oblivhm/cmd/drv",         // good: drivers sit outside the engine scope
+	)
+}

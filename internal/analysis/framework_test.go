@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestLogicalPath(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"oblivhm/internal/fft", "oblivhm/internal/fft"},
+		{"oblivhm/internal/fft [oblivhm/internal/fft.test]", "oblivhm/internal/fft"},
+		{"oblivhm/internal/fft.test", "oblivhm/internal/fft.test"},
+	}
+	for _, c := range cases {
+		if got := LogicalPath(c.in); got != c.want {
+			t.Errorf("LogicalPath(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestScopePredicates(t *testing.T) {
+	cases := []struct {
+		path                 string
+		engine, module, algo bool
+	}{
+		{"oblivhm/internal/core", true, true, false},
+		{"oblivhm/internal/fft", true, true, true},
+		{"oblivhm/internal/noalgo", true, true, true},
+		{"oblivhm/cmd/hmsim", false, true, false},
+		{"oblivhm/examples/apsp", false, true, false},
+		{"oblivhm/internal/fft.test", false, false, false},
+		{"internal/abi", false, false, false}, // standard library
+		{"fmt", false, false, false},
+	}
+	for _, c := range cases {
+		if got := enginePackage(c.path); got != c.engine {
+			t.Errorf("enginePackage(%q) = %v, want %v", c.path, got, c.engine)
+		}
+		if got := modulePackage(c.path); got != c.module {
+			t.Errorf("modulePackage(%q) = %v, want %v", c.path, got, c.module)
+		}
+		if got := algorithmPackage(c.path); got != c.algo {
+			t.Errorf("algorithmPackage(%q) = %v, want %v", c.path, got, c.algo)
+		}
+	}
+	if !networkPackage("oblivhm/internal/nogep") || networkPackage("oblivhm/internal/fft") {
+		t.Error("networkPackage should accept nogep and reject fft")
+	}
+}
+
+const allowSrc = `package p
+
+//oblivcheck:allow determinism: documented reason
+var a int
+
+//oblivcheck:allow oblivious: wrong analyzer for the probe below
+var b int
+
+//oblivcheck:allow
+var c int
+
+//oblivcheck:allow :
+var e int
+
+var d int //oblivcheck:allow determinism: same-line form
+`
+
+func parseAllowSrc(t *testing.T) (*token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "allow.go", allowSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, []*ast.File{f}
+}
+
+func TestCollectAllows(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	var diags []Diagnostic
+	allows := collectAllows(fset, files, &diags)
+
+	// The two malformed annotations are themselves findings.
+	if len(diags) != 2 {
+		t.Fatalf("got %d malformed-annotation findings, want 2: %v", len(diags), diags)
+	}
+	for _, d := range diags {
+		if !strings.Contains(d.Message, "malformed oblivcheck annotation") {
+			t.Errorf("unexpected malformed-annotation message: %s", d.Message)
+		}
+	}
+
+	m := allows["allow.go"]
+	if m == nil {
+		t.Fatal("no allow entries recorded for allow.go")
+	}
+	if got := m[3]; len(got) != 1 || got[0] != "determinism" {
+		t.Errorf("line 3 allows = %v, want [determinism]", got)
+	}
+	if got := m[15]; len(got) != 1 || got[0] != "determinism" {
+		t.Errorf("line 15 allows = %v, want [determinism]", got)
+	}
+}
+
+func TestAllowedAtCoversLineAndLineAbove(t *testing.T) {
+	fset, files := parseAllowSrc(t)
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: Determinism,
+		Fset:     fset,
+		diags:    &diags,
+		allows:   collectAllows(fset, files, &diags),
+	}
+	base := fset.File(files[0].Pos())
+	diags = diags[:0] // discard the malformed-annotation findings for this check
+
+	pass.Reportf(base.LineStart(4), "on the var line, annotation directly above")
+	if len(diags) != 0 {
+		t.Errorf("annotation on the line above should suppress, got %v", diags)
+	}
+	pass.Reportf(base.LineStart(15), "on the annotated line itself")
+	if len(diags) != 0 {
+		t.Errorf("same-line annotation should suppress, got %v", diags)
+	}
+	pass.Reportf(base.LineStart(7), "oblivious annotation must not cover determinism")
+	if len(diags) != 1 {
+		t.Errorf("mismatched analyzer name must not suppress, got %v", diags)
+	}
+}

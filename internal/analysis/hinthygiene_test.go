@@ -1,0 +1,15 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"oblivhm/internal/analysis"
+	"oblivhm/internal/analysis/atest"
+)
+
+func TestHintHygieneAnalyzer(t *testing.T) {
+	atest.Run(t, "testdata", analysis.HintHygiene,
+		"oblivhm/internal/gep",  // Task space bounds: derived, constant, missing, annotated
+		"oblivhm/internal/core", // engine join pairing on all control paths
+	)
+}

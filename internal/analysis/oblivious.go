@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// Oblivious enforces the paper's MO/NO definition on the algorithm
+// packages: resource-oblivious code names no machine parameter.
+//
+//   - No algorithm package may import the machine model (internal/hm)
+//     outside _test.go files. Algorithms see only core.Ctx, whose API
+//     exposes memory access and the three scheduler hints.
+//   - No algorithm may call Session.Machine(), the one door from Ctx back
+//     to the machine configuration (Session itself stays reachable for
+//     scratch allocation).
+//   - Network-oblivious algorithm packages (noalgo, nogep) may not read
+//     World.P or World.B: an NO algorithm's communication pattern is a
+//     function of N alone, p and B exist only in the runtime's accounting.
+var Oblivious = &Analyzer{
+	Name: "oblivious",
+	Doc:  "algorithm packages must not import internal/hm or read machine parameters",
+	Run:  runOblivious,
+}
+
+func runOblivious(pass *Pass) {
+	if !algorithmPackage(pass.Path) {
+		return
+	}
+	network := networkPackage(pass.Path)
+	eachSourceFile(pass, func(f *ast.File) {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == modulePrefix+"internal/hm" || strings.HasSuffix(path, "/internal/hm") {
+				pass.Reportf(imp.Pos(),
+					"algorithm package %s imports the machine model %q: obliviousness forbids naming machine parameters outside _test.go files", pass.Pkg.Name(), path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if fn := funcObj(pass.TypesInfo, n); fn != nil && fn.Name() == "Machine" {
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && namedFrom(sig.Recv().Type(), "internal/core", "Session") {
+						pass.Reportf(n.Pos(),
+							"algorithm code calls Session.Machine(): machine parameters are not visible to oblivious algorithms")
+					}
+				}
+			case *ast.SelectorExpr:
+				if !network {
+					return true
+				}
+				name := n.Sel.Name
+				if name != "P" && name != "B" {
+					return true
+				}
+				if tv, ok := pass.TypesInfo.Types[n.X]; ok && namedFrom(tv.Type, "internal/no", "World") {
+					pass.Reportf(n.Sel.Pos(),
+						"network-oblivious algorithm reads World.%s: only N (the recursion shape) may be named, p and B belong to the runtime", name)
+				}
+			}
+			return true
+		})
+	})
+}

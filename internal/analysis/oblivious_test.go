@@ -1,0 +1,19 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"oblivhm/internal/analysis"
+	"oblivhm/internal/analysis/atest"
+)
+
+func TestObliviousAnalyzer(t *testing.T) {
+	atest.Run(t, "testdata", analysis.Oblivious,
+		"oblivhm/internal/fft",       // bad: imports internal/hm (and shows _test.go exemption)
+		"oblivhm/internal/listrank",  // bad: reads Session.Machine()
+		"oblivhm/internal/noalgo",    // bad: NO algorithm reads World.P / World.B
+		"oblivhm/internal/transpose", // good: Ctx + Session allocation only
+		"oblivhm/internal/graph",     // good: violation covered by //oblivcheck:allow
+		"oblivhm/internal/harness",   // good: not an algorithm package
+	)
+}

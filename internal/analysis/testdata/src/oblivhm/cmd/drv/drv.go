@@ -1,0 +1,10 @@
+// Package drv is a determinism-analyzer negative fixture: drivers under
+// cmd/ sit outside the engine scope and may read the wall clock freely.
+package drv
+
+import "time"
+
+// Elapsed times a run; legal outside oblivhm/internal/.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,58 @@
+// Package core is a testdata stub of the execution context: the Ctx/Task
+// surface algorithms program against, plus the engine-side join free list
+// the hinthygiene analyzer polices.
+package core
+
+// Ctx is the oblivious execution context.
+type Ctx struct {
+	s *Session
+	e *engine
+}
+
+// Task is a forked task with a declared space bound.
+type Task struct {
+	Space int64
+	Fn    func(*Ctx)
+	Label string
+}
+
+// SpawnSB forks tasks under the SB hint.
+func (c *Ctx) SpawnSB(tasks ...Task) {
+	for _, t := range tasks {
+		if t.Fn != nil {
+			t.Fn(c)
+		}
+	}
+}
+
+// Session returns the owning session.
+func (c *Ctx) Session() *Session { return c.s }
+
+// Session allocates scratch space and, for non-algorithm code, exposes the
+// machine.
+type Session struct {
+	m Machine
+}
+
+// Machine is the stub machine handle.
+type Machine struct {
+	Cores int
+}
+
+// Machine returns the machine handle; algorithm packages may not call it.
+func (s *Session) Machine() *Machine { return &s.m }
+
+// NewF64 allocates scratch space; always allowed.
+func (s *Session) NewF64(n int) []float64 { return make([]float64, n) }
+
+type join struct {
+	pending int
+}
+
+type engine struct{}
+
+func (e *engine) newJoin() *join { return &join{} }
+
+func (e *engine) putJoin(jn *join) { _ = jn }
+
+func (c *Ctx) waitJoin(jn *join) { _ = jn }

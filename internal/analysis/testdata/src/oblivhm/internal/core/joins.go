@@ -1,0 +1,56 @@
+package core
+
+// Control-path fixtures for the hinthygiene join checker: a join taken
+// from the free list must be released on every path out of the function.
+
+func (c *Ctx) goodLinear() {
+	jn := c.e.newJoin()
+	for i := 0; i < 3; i++ {
+		jn.pending++
+	}
+	c.waitJoin(jn)
+}
+
+func (c *Ctx) goodBranchedReturns(early bool) {
+	jn := c.e.newJoin()
+	if early {
+		jn.pending++
+		c.waitJoin(jn)
+		return
+	}
+	c.waitJoin(jn)
+}
+
+func (c *Ctx) goodDeferredRelease() {
+	jn := c.e.newJoin()
+	defer c.e.putJoin(jn)
+	jn.pending++
+}
+
+func (c *Ctx) goodEarlyOutBeforeJoin(n int) {
+	if n == 0 {
+		return // fine: no join taken yet
+	}
+	jn := c.e.newJoin()
+	c.waitJoin(jn)
+}
+
+func (c *Ctx) badEarlyReturn(early bool) {
+	jn := c.e.newJoin()
+	if early {
+		return // want `return without releasing the join`
+	}
+	c.waitJoin(jn)
+}
+
+func (c *Ctx) badLeakOnFallthrough() {
+	jn := c.e.newJoin() // want `not released by waitJoin/putJoin on the fall-through path`
+	jn.pending++
+}
+
+func (c *Ctx) badBranchMisses(early bool) {
+	jn := c.e.newJoin() // want `not released by waitJoin/putJoin on the fall-through path`
+	if early {
+		c.waitJoin(jn)
+	}
+}

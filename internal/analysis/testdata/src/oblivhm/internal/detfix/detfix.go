@@ -1,0 +1,62 @@
+// Package detfix exercises the determinism analyzer: wall-clock reads,
+// unseeded randomness, map iteration, sync.Map, and goroutine spawns, with
+// seeded/annotated counterparts that must stay silent.
+package detfix
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Clock reads the wall clock.
+func Clock() time.Time {
+	return time.Now() // want `time\.Now reads the wall clock`
+}
+
+// GlobalRand draws from the global unseeded source.
+func GlobalRand() int {
+	return rand.Intn(10) // want `draws from the global unseeded source`
+}
+
+// SeededRand threads an explicit seed: the sanctioned convention.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// MapOrder folds over a map in iteration order.
+func MapOrder(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `iteration over a map`
+		total -= v
+	}
+	return total
+}
+
+// SyncMapUse declares a sync.Map.
+func SyncMapUse() {
+	var m sync.Map // want `sync\.Map use`
+	m.Store(1, 2)
+}
+
+// Spawn launches an unsanctioned goroutine.
+func Spawn(fn func()) {
+	go fn() // want `go statement outside the sanctioned`
+}
+
+// SanctionedSpawn carries the escape hatch with a reason.
+func SanctionedSpawn(fn func()) {
+	//oblivcheck:allow determinism: fixture for the annotation escape hatch
+	go fn()
+}
+
+// SortedKeys is the annotated order-independent collection idiom.
+func SortedKeys(m map[string]int) []string {
+	var ks []string
+	//oblivcheck:allow determinism: key collection, sorted by the caller
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,14 @@
+// Package fft is an oblivious-analyzer fixture: an algorithm package that
+// illegally imports the machine model.
+package fft
+
+import (
+	"oblivhm/internal/core"
+	"oblivhm/internal/hm" // want `imports the machine model`
+)
+
+// Use leaks a machine parameter into algorithm code.
+func Use(c *core.Ctx, cfg hm.Config) string {
+	_ = c
+	return cfg.Name
+}

@@ -1,0 +1,5 @@
+package fft
+
+import "oblivhm/internal/hm" // fine: _test.go files may see the machine
+
+var _ = hm.Config{}

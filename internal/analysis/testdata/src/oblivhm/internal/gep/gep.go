@@ -1,0 +1,46 @@
+// Package gep exercises the hinthygiene Task rules: every forked task
+// declares a space bound derived from its input size.
+package gep
+
+import "oblivhm/internal/core"
+
+// SpaceBound is the declared s(τ) for an n×n problem.
+func SpaceBound(n int) int64 { return int64(4 * n * n) }
+
+// Recurse forks with bounds derived from the subproblem size: legal.
+func Recurse(c *core.Ctx, n int) {
+	if n <= 1 {
+		return
+	}
+	sp := SpaceBound(n / 2)
+	c.SpawnSB(
+		core.Task{Space: 2 * sp, Fn: func(cc *core.Ctx) { Recurse(cc, n/2) }},
+		core.Task{Space: sp, Fn: func(cc *core.Ctx) { Recurse(cc, n/2) }},
+	)
+}
+
+// Positional uses the positional literal form with a derived bound: legal.
+func Positional(c *core.Ctx, n int) {
+	c.SpawnSB(core.Task{SpaceBound(n), nil, "leaf"})
+}
+
+// BadConstant hard-codes the bound.
+func BadConstant(c *core.Ctx) {
+	c.SpawnSB(core.Task{Space: 4096, Fn: nil}) // want `constant 4096`
+}
+
+// BadMissing declares no bound at all (an implicit zero).
+func BadMissing(c *core.Ctx) {
+	c.SpawnSB(core.Task{Fn: nil}) // want `Task literal without a Space bound`
+}
+
+// BadPositionalConstant hard-codes the bound positionally.
+func BadPositionalConstant(c *core.Ctx) {
+	c.SpawnSB(core.Task{64, nil, "leaf"}) // want `constant 64`
+}
+
+// Audited carries the escape hatch for a hand-audited fixed bound.
+func Audited(c *core.Ctx) {
+	//oblivcheck:allow hinthygiene: fixed-size leaf buffer, bound audited by hand
+	c.SpawnSB(core.Task{Space: 64, Fn: nil})
+}

@@ -1,0 +1,9 @@
+// Package graph is an oblivious-analyzer fixture for the annotation
+// escape hatch: the violation below is explicitly allowed with a reason,
+// so it must not be reported.
+package graph
+
+//oblivcheck:allow oblivious: fixture probing the annotation escape hatch
+import "oblivhm/internal/hm"
+
+var _ = hm.Config{}

@@ -1,0 +1,8 @@
+// Package harness is an oblivious-analyzer negative fixture: it is not an
+// algorithm package, so importing the machine model is its job.
+package harness
+
+import "oblivhm/internal/hm"
+
+// Machines wires machine configurations to drivers.
+func Machines() map[string]hm.Config { return hm.Presets() }

@@ -1,0 +1,11 @@
+// Package hm is a testdata stub of the machine model: just enough surface
+// for the oblivious analyzer fixtures to type-check.
+package hm
+
+// Config is a machine description an algorithm must never see.
+type Config struct {
+	Name string
+}
+
+// Presets mimics the real preset table.
+func Presets() map[string]Config { return nil }

@@ -1,0 +1,10 @@
+// Package listrank is an oblivious-analyzer fixture: algorithm code that
+// reads machine parameters through the Session.Machine() door.
+package listrank
+
+import "oblivhm/internal/core"
+
+// Peek adapts to the core count, which an oblivious algorithm must not.
+func Peek(c *core.Ctx) int {
+	return c.Session().Machine().Cores // want `Session\.Machine\(\)`
+}

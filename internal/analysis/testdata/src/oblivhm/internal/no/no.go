@@ -1,0 +1,11 @@
+// Package no is a testdata stub of the network-oblivious substrate.
+package no
+
+// World is the M(p,B) machine: N is the problem's PE count (the recursion
+// shape an NO algorithm may name), P and B are machine parameters it may
+// not.
+type World struct {
+	N int
+	P int
+	B int
+}

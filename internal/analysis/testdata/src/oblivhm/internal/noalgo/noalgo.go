@@ -1,0 +1,14 @@
+// Package noalgo is an oblivious-analyzer fixture for the NO rule: an
+// algorithm may name N, the recursion shape, but never p or B.
+package noalgo
+
+import "oblivhm/internal/no"
+
+// Shape reads N: the declared recursion shape, always legal.
+func Shape(w *no.World) int { return w.N }
+
+// LeakP branches on the processor count.
+func LeakP(w *no.World) int { return w.P } // want `World\.P`
+
+// LeakB branches on the block size.
+func LeakB(w *no.World) int { return w.B } // want `World\.B`

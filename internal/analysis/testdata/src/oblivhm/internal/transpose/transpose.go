@@ -1,0 +1,10 @@
+// Package transpose is an oblivious-analyzer fixture with only legal
+// behaviour: Ctx access and scratch allocation through Session.
+package transpose
+
+import "oblivhm/internal/core"
+
+// Recursive allocates scratch without touching machine state.
+func Recursive(c *core.Ctx, n int) []float64 {
+	return c.Session().NewF64(n)
+}

@@ -149,6 +149,7 @@ func (c *Ctx) nativePFor(n int, body func(cc *Ctx, lo, hi int)) {
 			continue
 		}
 		wg.Add(1)
+		//oblivcheck:allow determinism: native-mode executor — real parallelism is the point; joined before return, failures funneled through noteNativeFailure
 		go func(lo, hi int) {
 			defer wg.Done()
 			defer c.s.gov.release()
@@ -343,6 +344,7 @@ func (c *Ctx) nativeSpawn(tasks []Task) {
 			continue
 		}
 		wg.Add(1)
+		//oblivcheck:allow determinism: native-mode executor — real parallelism is the point; joined before return, failures funneled through noteNativeFailure
 		go func(fn func(*Ctx)) {
 			defer wg.Done()
 			defer c.s.gov.release()

@@ -486,6 +486,7 @@ func (e *engine) runStrand(st *strand, budget int64) int64 {
 		st.started = true
 		if !st.spawned {
 			st.spawned = true
+			//oblivcheck:allow determinism: strand coroutine — lockstep resume/yield handoff, exactly one strand runs at a time, so the schedule is independent of OS interleaving
 			go st.main()
 		}
 	}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Unit coverage for the typed failure values themselves: wrapping,
+// errors.Is/As round-trips, and the forensics-report rendering.  The
+// integration paths (a real panicking strand, a really wedged schedule)
+// are covered by the chaos and admission tests; these pin the error API.
+
+var errRoot = errors.New("root cause")
+
+func TestRunErrorUnwrapsErrorPanics(t *testing.T) {
+	re := &RunError{Core: 3, AnchorLevel: 2, AnchorIndex: 1, Label: "sb", Value: fmt.Errorf("wrapped: %w", errRoot)}
+
+	if !errors.Is(re, errRoot) {
+		t.Error("errors.Is should see through RunError to the panic value's chain")
+	}
+	var got *RunError
+	if !errors.As(error(re), &got) || got.Core != 3 {
+		t.Error("errors.As should recover the *RunError with its placement intact")
+	}
+	msg := re.Error()
+	for _, want := range []string{`task "sb"`, "core 3", "anchor L2[1]", "root cause"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("RunError message %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestRunErrorNonErrorPanicValue(t *testing.T) {
+	re := &RunError{Core: 0, Label: "root", Value: "slice index out of range"}
+	if re.Unwrap() != nil {
+		t.Error("Unwrap of a non-error panic value should be nil")
+	}
+	if errors.Is(re, errRoot) {
+		t.Error("errors.Is must not match through a non-error panic value")
+	}
+	if msg := re.Error(); !strings.Contains(msg, "slice index out of range") || strings.Contains(msg, "anchor") {
+		t.Errorf("message should carry the value and omit the unknown anchor: %q", msg)
+	}
+}
+
+func TestInvariantErrorMessage(t *testing.T) {
+	ie := &InvariantError{Clock: 42, Name: "strand-conservation", Detail: "live 3 != spawned 2 - done 0"}
+	msg := ie.Error()
+	for _, want := range []string{`"strand-conservation"`, "clock 42", "live 3"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("InvariantError message %q missing %q", msg, want)
+		}
+	}
+	var got *InvariantError
+	if !errors.As(error(ie), &got) || got.Name != "strand-conservation" {
+		t.Error("errors.As round-trip lost the invariant name")
+	}
+}
+
+func testReport() DeadlockReport {
+	return DeadlockReport{
+		Clock:    100,
+		Live:     2,
+		Runnable: 0,
+		Queued:   1,
+		Cores: []CoreState{
+			{Core: 0, QueueDepth: 0, Load: 1},
+			{Core: 1, QueueDepth: 0, Load: 0}, // idle: must be elided from the rendering
+		},
+		Blocked: []BlockedStrand{{Core: 0, AnchorLevel: 2, AnchorIndex: 0, Label: "sb"}},
+		Slots: []SlotState{
+			{Level: 2, Index: 0, Used: 90, Capacity: 128, Anchored: 1, Queued: 1, Demands: []int64{64}},
+			{Level: 1, Index: 3, Used: 16, Capacity: 32, Anchored: 1, Queued: 0},
+		},
+	}
+}
+
+func TestDeadlockReportRendering(t *testing.T) {
+	r := testReport()
+	out := r.String()
+	for _, want := range []string{
+		"deadlock at clock 100",
+		"2 live strands",
+		`core 0: anchor L2[0] task "sb"`,
+		"L2[0]: used 90/128 words, 1 anchored, 1 queued",
+		"pending space demands: [64]",
+		"starved: L2[0]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("forensics report missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "core 1:") {
+		t.Errorf("idle core 1 should be elided from the report:\n%s", out)
+	}
+	if got := r.Starved(); len(got) != 1 || got[0] != "L2[0]" {
+		t.Errorf("Starved() = %v, want [L2[0]]", got)
+	}
+	if name := r.Slots[0].Name(); name != "L2[0]" {
+		t.Errorf("SlotState.Name() = %q, want L2[0]", name)
+	}
+}
+
+func TestDeadlockErrorWrapsReport(t *testing.T) {
+	de := &DeadlockError{Report: testReport()}
+	var got *DeadlockError
+	if !errors.As(error(de), &got) || got.Report.Clock != 100 {
+		t.Error("errors.As round-trip lost the forensics report")
+	}
+	if msg := de.Error(); strings.HasSuffix(msg, "\n") {
+		t.Errorf("DeadlockError message should be trimmed of trailing newlines: %q", msg)
+	} else if !strings.Contains(msg, "starved: L2[0]") {
+		t.Errorf("DeadlockError message should carry the full report: %q", msg)
+	}
+}
+
+func TestIsRunFailure(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&RunError{}, true},
+		{&InvariantError{}, true},
+		{&DeadlockError{}, true},
+		{errRoot, false},
+		{fmt.Errorf("wrapping: %w", &RunError{}), false}, // typed check is intentionally shallow
+	}
+	for _, c := range cases {
+		if got := IsRunFailure(c.err); got != c.want {
+			t.Errorf("IsRunFailure(%T) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

@@ -76,6 +76,7 @@ func (t *Trace) Summary() string {
 	var b strings.Builder
 	b.WriteString("scheduler trace summary:\n")
 	var ks []string
+	//oblivcheck:allow determinism: key collection — rendered order comes from the sort below
 	for k := range kinds {
 		ks = append(ks, string(k))
 	}
@@ -84,6 +85,7 @@ func (t *Trace) Summary() string {
 		fmt.Fprintf(&b, "  %-7s %d\n", k, kinds[EventKind(k)])
 	}
 	var lvls []int
+	//oblivcheck:allow determinism: key collection — rendered order comes from the sort below
 	for l := range anchorsPerLevel {
 		lvls = append(lvls, l)
 	}

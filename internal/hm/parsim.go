@@ -294,10 +294,13 @@ func (p *parSim) start() {
 	if nw > 0 {
 		p.taskCh = make(chan parTask, len(p.shards))
 		for i := 0; i < nw; i++ {
+			//oblivcheck:allow determinism: sanctioned parsim entry point — shard replay is proven byte-identical to the serial path by the stream-equivalence tests
 			go p.workerLoop()
 		}
 	}
+	//oblivcheck:allow determinism: sanctioned parsim entry point — per-batch barrier keeps each shard single-threaded
 	go p.dispatchLoop()
+	//oblivcheck:allow determinism: sanctioned parsim entry point — ordered chain replay of the single-cache upper levels
 	go p.chainLoop()
 	p.started = true
 }

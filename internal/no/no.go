@@ -168,6 +168,7 @@ func (w *World) Step(f func(e *Env)) {
 func hRelation(pairs map[int]int64, p int, b int64) int64 {
 	sent := make([]int64, p)
 	recv := make([]int64, p)
+	//oblivcheck:allow determinism: commutative accumulation — per-processor sums are order-independent
 	for key, words := range pairs {
 		blocks := (words + b - 1) / b
 		sent[key/p] += blocks
@@ -218,6 +219,7 @@ func (w *World) DBSPTime(g []float64, bs []int64) float64 {
 		}
 		// Smallest cluster size 2^k covering every (src,dst) pair.
 		k := 0
+		//oblivcheck:allow determinism: commutative maximum — the covering cluster size is order-independent
 		for key := range pairs {
 			s, d := key/w.P, key%w.P
 			for s>>k != d>>k {
