@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel fuzz soak profile clean
+.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel fuzz soak profile sweep sweep-smoke clean
 
 all: vet test
 
@@ -48,6 +48,22 @@ tables:
 tables-quick:
 	$(GO) run ./cmd/tables -quick
 
+# Run a declared experiment grid through the sweep engine and evaluate its
+# hypotheses (exit 1 on any failing verdict).  Override SPEC for other
+# grids, e.g. SPEC=specs/chaos_stability.json.
+SPEC ?= specs/sb_vs_flat.json
+sweep:
+	$(GO) run ./cmd/sweep -spec $(SPEC) -hypothesis
+
+# CI gate: a tiny spec end to end with -hypothesis, then the same grid at
+# workers=1 vs workers=4 — the JSONL streams must be byte-identical (the
+# determinism contract extended to the sweep layer).
+sweep-smoke:
+	@mkdir -p bin
+	$(GO) run ./cmd/sweep -spec specs/smoke.json -hypothesis -quiet -workers 4 -out bin/smoke_w4.jsonl
+	$(GO) run ./cmd/sweep -spec specs/smoke.json -hypothesis -quiet -workers 1 -out bin/smoke_w1.jsonl
+	cmp bin/smoke_w1.jsonl bin/smoke_w4.jsonl
+
 examples:
 	$(GO) run ./examples/quickstart
 	$(GO) run ./examples/apsp
@@ -58,10 +74,11 @@ examples:
 cover:
 	$(GO) test -cover ./internal/...
 
-# Race-check the engine and the golden-metrics layer (the packages with
-# real concurrency: strand goroutines and the native executor).
+# Race-check the engine, the golden-metrics layer and the sweep runner
+# (the packages with real concurrency: strand goroutines, the native
+# executor, and the sweep worker pool incl. the rebased cmd/tables).
 race:
-	$(GO) test -race ./internal/core/... ./internal/harness/...
+	$(GO) test -race ./internal/core/... ./internal/harness/... ./internal/sweep ./cmd/tables
 
 # Race-check the parallel replay backend end to end: stream-level machine
 # equivalence, engine-level schedule equivalence, and the harness golden
@@ -76,12 +93,14 @@ SOAKTIME ?= 60s
 soak:
 	$(GO) run -race ./cmd/soak -duration=$(SOAKTIME)
 
-# Short native fuzz runs of the SPMS sorter and the prefix scan against
-# their sequential specifications.  FUZZTIME=1m fuzz for longer runs.
+# Short native fuzz runs: the SPMS sorter and the prefix scan against
+# their sequential specifications, and the sweep-spec parser against its
+# typed-error contract.  FUZZTIME=1m fuzz for longer runs.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -fuzz=FuzzSPMSSort -fuzztime=$(FUZZTIME) ./internal/spms
 	$(GO) test -fuzz=FuzzScan -fuzztime=$(FUZZTIME) ./internal/scan
+	$(GO) test -fuzz=FuzzSweepSpec -fuzztime=$(FUZZTIME) ./internal/sweep
 
 # Flame-graph starting point for perf work: profile a representative
 # simulated run.  Override PROFILE_ARGS for other workloads, e.g.

@@ -1,0 +1,162 @@
+// Command sweep is the controlled-experiment engine: it expands a JSON
+// spec into a grid of (algorithm, machine, size, seed, options) configs,
+// fans the runs out across worker goroutines, and streams one row per run
+// to JSONL or CSV — in grid order, byte-identical for every worker count,
+// because each run is an independent deterministic simulation.
+//
+// Usage:
+//
+//	sweep -spec specs/sb_vs_flat.json [-out results.jsonl] [-format jsonl|csv]
+//	      [-workers N] [-resume] [-hypothesis] [-quiet]
+//
+// With -resume, rows whose config hash is already present in -out are
+// skipped and the file is appended to, so a killed sweep picks up where it
+// stopped.  With -hypothesis, the spec's declared predictions are evaluated
+// over the full row set (resumed rows included) after the sweep finishes;
+// any failing hypothesis makes the process exit 1, so a sweep run is a
+// CI-gateable experiment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"oblivhm/internal/sweep"
+)
+
+func main() {
+	var (
+		specPath   = flag.String("spec", "", "path to the sweep spec (JSON, required)")
+		outPath    = flag.String("out", "", "output file (default stdout)")
+		format     = flag.String("format", "jsonl", "output format: jsonl or csv")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent runs (output is identical for any value)")
+		resume     = flag.Bool("resume", false, "skip configs already present in -out and append (jsonl only)")
+		hypothesis = flag.Bool("hypothesis", false, "evaluate the spec's hypotheses after the sweep; exit 1 on any failure")
+		quiet      = flag.Bool("quiet", false, "suppress progress reporting on stderr")
+	)
+	flag.Parse()
+	if err := run(*specPath, *outPath, *format, *workers, *resume, *hypothesis, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(specPath, outPath, format string, workers int, resume, hypothesis, quiet bool) error {
+	if specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return err
+	}
+	spec, err := sweep.Parse(data)
+	if err != nil {
+		return err
+	}
+	grid := sweep.Expand(spec)
+
+	// Resume: recover the completed set (and its rows, for hypothesis
+	// evaluation) from the existing output file.
+	var done map[string]bool
+	var prior []sweep.Row
+	if resume {
+		if format != "jsonl" {
+			return fmt.Errorf("-resume needs -format jsonl (rows are keyed by the hash field)")
+		}
+		if outPath == "" {
+			return fmt.Errorf("-resume needs -out")
+		}
+		if f, err := os.Open(outPath); err == nil {
+			done, prior, err = sweep.ReadDone(f)
+			f.Close()
+			if err != nil {
+				return fmt.Errorf("reading %s for resume: %w", outPath, err)
+			}
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+
+	var out io.Writer = os.Stdout
+	if outPath != "" {
+		flags := os.O_CREATE | os.O_WRONLY
+		if resume {
+			flags |= os.O_APPEND
+		} else {
+			flags |= os.O_TRUNC
+		}
+		f, err := os.OpenFile(outPath, flags, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	var w sweep.Writer
+	switch format {
+	case "jsonl":
+		w = sweep.NewJSONLWriter(out)
+	case "csv":
+		w = sweep.NewCSVWriter(out)
+	default:
+		return fmt.Errorf("unknown format %q (want jsonl or csv)", format)
+	}
+
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "sweep %s: %d configs (%d done), workers=%d\n",
+			name(spec.Name, specPath), len(grid), len(done), workers)
+	}
+	start := time.Now()
+	var rows []sweep.Row
+	opts := sweep.RunnerOpts{Workers: workers, Done: done}
+	if !quiet {
+		opts.Progress = func(finished, total int) {
+			el := time.Since(start).Seconds()
+			rate := float64(finished) / el
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs (%.1f runs/s, %.0fs elapsed)", finished, total, rate, el)
+			if finished == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	err = sweep.Run(spec, opts, func(r sweep.Row) error {
+		rows = append(rows, r)
+		return w.Write(r)
+	})
+	if ferr := w.Flush(); err == nil {
+		err = ferr
+	}
+	if err != nil {
+		return err
+	}
+
+	failures := 0
+	if hypothesis {
+		all := append(prior, rows...)
+		verdicts := sweep.Evaluate(spec, all)
+		if len(verdicts) == 0 {
+			fmt.Fprintln(os.Stderr, "sweep: -hypothesis set but the spec declares no hypotheses")
+		}
+		for _, v := range verdicts {
+			fmt.Println(v)
+			if !v.Pass {
+				failures++
+			}
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d hypothesis(es) failed", failures)
+	}
+	return nil
+}
+
+func name(specName, path string) string {
+	if specName != "" {
+		return specName
+	}
+	return path
+}

@@ -9,71 +9,94 @@
 //   - the E13 scheduler ablation (SB vs flat proportionate-slice);
 //   - the E15 D-BSP communication-time sweep for N-GEP.
 //
+// Every simulated-machine (MO) section runs through internal/sweep — the
+// same grid expansion and runner as cmd/sweep — so a table cell and a
+// sweep row are guaranteed to be the same measurement; the equivalence
+// test in main_test.go pins the rendered output against direct
+// harness.RunMO loops byte for byte.
+//
 // Run with -quick for a fast subset.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
-	"oblivhm/internal/core"
 	"oblivhm/internal/gep"
 	"oblivhm/internal/harness"
 	"oblivhm/internal/hm"
 	"oblivhm/internal/no"
 	"oblivhm/internal/nogep"
+	"oblivhm/internal/sweep"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller sweeps")
+	workers := flag.Int("workers", 4, "concurrent simulated runs per section (output is identical for any value)")
 	flag.Parse()
+	w := os.Stdout
 
-	fmt.Println("==================================================================")
-	fmt.Println("Table I — D vs D* recursion orderings (N-GEP, experiment E10)")
-	fmt.Println("==================================================================")
-	tableI(*quick)
+	fmt.Fprintln(w, "==================================================================")
+	fmt.Fprintln(w, "Table I — D vs D* recursion orderings (N-GEP, experiment E10)")
+	fmt.Fprintln(w, "==================================================================")
+	tableI(w, *quick)
 
-	fmt.Println()
-	fmt.Println("==================================================================")
-	fmt.Println("Table II — MO cache complexity (per-level max misses vs formula)")
-	fmt.Println("==================================================================")
-	tableIIMO(*quick)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "==================================================================")
+	fmt.Fprintln(w, "Table II — MO cache complexity (per-level max misses vs formula)")
+	fmt.Fprintln(w, "==================================================================")
+	tableIIMO(w, *quick, *workers)
 
-	fmt.Println()
-	fmt.Println("==================================================================")
-	fmt.Println("Table II — NO communication complexity (vs formula)")
-	fmt.Println("==================================================================")
-	tableIINO(*quick)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "==================================================================")
+	fmt.Fprintln(w, "Table II — NO communication complexity (vs formula)")
+	fmt.Fprintln(w, "==================================================================")
+	tableIINO(w, *quick)
 
-	fmt.Println()
-	fmt.Println("==================================================================")
-	fmt.Println("E13 — scheduler ablation: SB hierarchy vs flat proportionate slice")
-	fmt.Println("==================================================================")
-	ablation(*quick)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "==================================================================")
+	fmt.Fprintln(w, "E13 — scheduler ablation: SB hierarchy vs flat proportionate slice")
+	fmt.Fprintln(w, "==================================================================")
+	ablation(w, *quick, *workers)
 
-	fmt.Println()
-	fmt.Println("==================================================================")
-	fmt.Println("E15 — N-GEP on D-BSP: communication time vs block-size vector")
-	fmt.Println("==================================================================")
-	dbspSweep(*quick)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "==================================================================")
+	fmt.Fprintln(w, "E15 — N-GEP on D-BSP: communication time vs block-size vector")
+	fmt.Fprintln(w, "==================================================================")
+	dbspSweep(w, *quick)
 
-	fmt.Println()
-	fmt.Println("==================================================================")
-	fmt.Println("Ablation — ideal (fully associative) vs 8-way set-associative")
-	fmt.Println("==================================================================")
-	assocAblation(*quick)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "==================================================================")
+	fmt.Fprintln(w, "Ablation — ideal (fully associative) vs 8-way set-associative")
+	fmt.Fprintln(w, "==================================================================")
+	assocAblation(w, *quick, *workers)
 
-	fmt.Println()
-	fmt.Println("==================================================================")
-	fmt.Println("Table II \"Time\" column — virtual steps vs core count")
-	fmt.Println("==================================================================")
-	speedupSweep(*quick)
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "==================================================================")
+	fmt.Fprintln(w, "Table II \"Time\" column — virtual steps vs core count")
+	fmt.Fprintln(w, "==================================================================")
+	speedupSweep(w, *quick)
+}
+
+// collect expands and runs a programmatic spec through the sweep runner,
+// exiting loudly on spec mistakes (a bug in this command, not user input).
+func collect(spec *sweep.Spec, workers int) []sweep.Row {
+	rows, err := sweep.Collect(spec, workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tables: internal spec error:", err)
+		os.Exit(1)
+	}
+	return rows
 }
 
 // speedupSweep measures parallel steps on the 3-level machine as p grows —
 // the Θ(work/p) time column of Table II (optimal while p stays below each
-// row's "max value of p").
-func speedupSweep(quick bool) {
+// row's "max value of p").  The core-count axis varies the machine *shape*
+// (hm.MC3(p)), which has no preset name, so this section drives the
+// harness directly rather than through a sweep grid.
+func speedupSweep(w io.Writer, quick bool) {
 	rows := []struct {
 		algo string
 		n    int
@@ -82,22 +105,22 @@ func speedupSweep(quick bool) {
 		{"sort", 1 << 12}, {"mm", 1 << 12}, {"lr", 1 << 10},
 	}
 	ps := []int{1, 2, 4, 8}
-	fmt.Printf("%-6s %-8s", "algo", "n")
+	fmt.Fprintf(w, "%-6s %-8s", "algo", "n")
 	for _, p := range ps {
-		fmt.Printf(" %12s", fmt.Sprintf("steps(p=%d)", p))
+		fmt.Fprintf(w, " %12s", fmt.Sprintf("steps(p=%d)", p))
 	}
-	fmt.Printf(" %10s\n", "spdup(8)")
+	fmt.Fprintf(w, " %10s\n", "spdup(8)")
 	for _, row := range rows {
 		n := row.n
 		if quick {
 			n /= 4
 		}
-		fmt.Printf("%-6s %-8d", row.algo, n)
+		fmt.Fprintf(w, "%-6s %-8d", row.algo, n)
 		var s1, s8 int64
 		for _, p := range ps {
 			res, err := harness.RunMOOnConfig(row.algo, hm.MC3(p), n)
 			if err != nil {
-				fmt.Println(" error:", err)
+				fmt.Fprintln(w, " error:", err)
 				break
 			}
 			if p == 1 {
@@ -106,56 +129,58 @@ func speedupSweep(quick bool) {
 			if p == 8 {
 				s8 = res.Steps
 			}
-			fmt.Printf(" %12d", res.Steps)
+			fmt.Fprintf(w, " %12d", res.Steps)
 		}
 		if s8 > 0 {
-			fmt.Printf(" %10.2f", float64(s1)/float64(s8))
+			fmt.Fprintf(w, " %10.2f", float64(s1)/float64(s8))
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
 	}
 }
 
-func assocAblation(quick bool) {
+func assocAblation(w io.Writer, quick bool, workers int) {
 	n := 1 << 12
 	if quick {
 		n = 1 << 10
 	}
-	for _, algo := range []string{"fft", "sort", "mm"} {
-		ideal, err := harness.RunMO(algo, "mc3", n)
-		if err != nil {
-			fmt.Println("error:", err)
+	// Grid order (machines innermost of the two axes) pairs each
+	// algorithm's ideal run with its 8-way run.
+	rows := collect(&sweep.Spec{
+		Algos:    []string{"fft", "sort", "mm"},
+		Machines: []string{"mc3", "mc3a"},
+		Sizes:    []int{n},
+	}, workers)
+	for i := 0; i+1 < len(rows); i += 2 {
+		ideal, assoc := rows[i], rows[i+1]
+		if ideal.Err != "" || assoc.Err != "" {
+			fmt.Fprintln(w, "error:", firstErr(ideal, assoc))
 			return
 		}
-		assoc, err := harness.RunMO(algo, "mc3a", n)
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		fmt.Printf("--- %s n=%d: per-level max misses, ideal vs 8-way\n", algo, n)
-		for i := range ideal.Levels {
-			a, b := ideal.Levels[i], assoc.Levels[i]
-			fmt.Printf("  L%d: ideal=%-10d 8way=%-10d 8way/ideal=%.2f\n",
+		fmt.Fprintf(w, "--- %s n=%d: per-level max misses, ideal vs 8-way\n", ideal.Algo, n)
+		for j := range ideal.Levels {
+			a, b := ideal.Levels[j], assoc.Levels[j]
+			fmt.Fprintf(w, "  L%d: ideal=%-10d 8way=%-10d 8way/ideal=%.2f\n",
 				a.Level, a.MaxMisses, b.MaxMisses, float64(b.MaxMisses)/float64(maxI64(a.MaxMisses, 1)))
 		}
 	}
 }
 
-func tableI(quick bool) {
-	fmt.Println("Round structure (quadrants read per round of one D/D* call):")
-	fmt.Println("  D  round 1: U11 x2, U21 x2, V11 x2, V12 x2, W11 x4")
-	fmt.Println("  D* round 1: U11, U12, U21, U22, V11, V12, V21, V22, W11 x2, W22 x2")
-	fmt.Println("  (with D*, no U or V quadrant is requested twice in a round)")
-	fmt.Println()
+func tableI(w io.Writer, quick bool) {
+	fmt.Fprintln(w, "Round structure (quadrants read per round of one D/D* call):")
+	fmt.Fprintln(w, "  D  round 1: U11 x2, U21 x2, V11 x2, V12 x2, W11 x4")
+	fmt.Fprintln(w, "  D* round 1: U11, U12, U21, U22, V11, V12, V21, V22, W11 x2, W22 x2")
+	fmt.Fprintln(w, "  (with D*, no U or V quadrant is requested twice in a round)")
+	fmt.Fprintln(w)
 	m := 32
 	if quick {
 		m = 16
 	}
-	fmt.Printf("%-8s %-6s %-4s %-10s %-10s %-8s\n", "matrix", "p", "B", "comm(D)", "comm(D*)", "D*/D")
+	fmt.Fprintf(w, "%-8s %-6s %-4s %-10s %-10s %-8s\n", "matrix", "p", "B", "comm(D)", "comm(D*)", "D*/D")
 	for _, p := range []int{4, 8, 16} {
 		for _, b := range []int{2, 8} {
 			cd := ngepComm(m, p, b, false)
 			cs := ngepComm(m, p, b, true)
-			fmt.Printf("%-8d %-6d %-4d %-10d %-10d %-8.2f\n", m, p, b, cd, cs, float64(cs)/float64(cd))
+			fmt.Fprintf(w, "%-8d %-6d %-4d %-10d %-10d %-8.2f\n", m, p, b, cd, cs, float64(cs)/float64(cd))
 		}
 	}
 }
@@ -172,7 +197,7 @@ func ngepComm(m, p, b int, star bool) int64 {
 	return w.Comm()
 }
 
-func tableIIMO(quick bool) {
+func tableIIMO(w io.Writer, quick bool, workers int) {
 	rows := []struct {
 		algo    string
 		formula string
@@ -197,21 +222,24 @@ func tableIIMO(quick bool) {
 		if quick {
 			sizes = sizes[:1]
 		}
-		fmt.Printf("--- %s: %s\n", row.algo, row.formula)
-		for _, mach := range machines {
-			for _, n := range sizes {
-				res, err := harness.RunMO(row.algo, mach, n)
-				if err != nil {
-					fmt.Println("  error:", err)
-					continue
-				}
-				fmt.Print(indent(res.String()))
+		fmt.Fprintf(w, "--- %s: %s\n", row.algo, row.formula)
+		// One grid per table row: machines outer, sizes inner — the
+		// paper's presentation order.
+		for _, r := range collect(&sweep.Spec{
+			Algos:    []string{row.algo},
+			Machines: machines,
+			Sizes:    sizes,
+		}, workers) {
+			if r.Err != "" {
+				fmt.Fprintln(w, "  error:", r.Err)
+				continue
 			}
+			fmt.Fprint(w, indent(r.Result().String()))
 		}
 	}
 }
 
-func tableIINO(quick bool) {
+func tableIINO(w io.Writer, quick bool) {
 	rows := []struct {
 		algo  string
 		sizes []int
@@ -235,53 +263,57 @@ func tableIINO(quick bool) {
 				for _, b := range []int{2, 8} {
 					res, err := harness.RunNO(row.algo, n, p, b)
 					if err != nil {
-						fmt.Println("error:", err)
+						fmt.Fprintln(w, "error:", err)
 						continue
 					}
-					fmt.Println(" ", res)
+					fmt.Fprintln(w, " ", res)
 				}
 			}
 		}
 	}
 }
 
-func ablation(quick bool) {
+func ablation(w io.Writer, quick bool, workers int) {
 	n := 1 << 12
 	if quick {
 		n = 1 << 10
 	}
-	for _, algo := range []string{"mm", "sort"} {
-		sb, err := harness.RunMO(algo, "hm4", n)
-		if err != nil {
-			fmt.Println("error:", err)
+	// Grid order (options innermost) pairs each algorithm's SB run with
+	// its flat-scheduler run — the E13 comparison cmd/sweep's demo spec
+	// (specs/sb_vs_flat.json) turns into a checked hypothesis.
+	rows := collect(&sweep.Spec{
+		Algos:    []string{"mm", "sort"},
+		Machines: []string{"hm4"},
+		Sizes:    []int{n},
+		Options:  []string{"default", "flat"},
+	}, workers)
+	for i := 0; i+1 < len(rows); i += 2 {
+		sb, flat := rows[i], rows[i+1]
+		if sb.Err != "" || flat.Err != "" {
+			fmt.Fprintln(w, "error:", firstErr(sb, flat))
 			return
 		}
-		flat, err := harness.RunMO(algo, "hm4", n, core.WithFlatScheduler())
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		fmt.Printf("--- %s n=%d on hm4 (higher-level misses: SB vs flat)\n", algo, n)
-		for i := range sb.Levels {
-			f := flat.Levels[i]
-			s := sb.Levels[i]
+		fmt.Fprintf(w, "--- %s n=%d on hm4 (higher-level misses: SB vs flat)\n", sb.Algo, n)
+		for j := range sb.Levels {
+			f := flat.Levels[j]
+			s := sb.Levels[j]
 			ratio := float64(f.MaxMisses) / float64(maxI64(s.MaxMisses, 1))
-			fmt.Printf("  L%d: SB=%-10d flat=%-10d flat/SB=%.2f\n", s.Level, s.MaxMisses, f.MaxMisses, ratio)
+			fmt.Fprintf(w, "  L%d: SB=%-10d flat=%-10d flat/SB=%.2f\n", s.Level, s.MaxMisses, f.MaxMisses, ratio)
 		}
 	}
 }
 
-func dbspSweep(quick bool) {
+func dbspSweep(w io.Writer, quick bool) {
 	m := 32
 	if quick {
 		m = 16
 	}
 	pes := m * m / 4
-	fmt.Printf("%-4s %-26s %-12s\n", "p", "B vector (per level)", "D-BSP time")
+	fmt.Fprintf(w, "%-4s %-26s %-12s\n", "p", "B vector (per level)", "D-BSP time")
 	for _, p := range []int{4, 16} {
 		for _, scale := range []int64{1, 4, 16} {
-			w := no.NewWorld(pes, p, 1)
-			e := &nogep.Engine{W: w, Spec: gep.Floyd(), UseDStar: true}
+			world := no.NewWorld(pes, p, 1)
+			e := &nogep.Engine{W: world, Spec: gep.Floyd(), UseDStar: true}
 			in := make([]float64, m*m)
 			for i := range in {
 				in[i] = float64(i%11) + 1
@@ -297,9 +329,18 @@ func dbspSweep(quick bool) {
 				g[i] = float64(int64(1) << uint(logP-i))
 				bs[i] = scale << uint(i/2) // larger blocks deeper in the hierarchy
 			}
-			fmt.Printf("%-4d B0=%-3d (x%d per 2 lvls)      %-12.0f\n", p, scale, 2, w.DBSPTime(g, bs))
+			fmt.Fprintf(w, "%-4d B0=%-3d (x%d per 2 lvls)      %-12.0f\n", p, scale, 2, world.DBSPTime(g, bs))
 		}
 	}
+}
+
+func firstErr(rows ...sweep.Row) string {
+	for _, r := range rows {
+		if r.Err != "" {
+			return r.Err
+		}
+	}
+	return ""
 }
 
 func indent(s string) string {

@@ -47,17 +47,11 @@ func (g goldenCase) key() string {
 }
 
 func (g goldenCase) opts() []core.Opt {
-	switch g.Opt {
-	case "":
-		return nil
-	case "steal":
-		return []core.Opt{core.WithStealing()}
-	case "flat":
-		return []core.Opt{core.WithFlatScheduler()}
-	case "q8":
-		return []core.Opt{core.WithQuantum(8)}
+	opts, err := OptionSet(g.Opt)
+	if err != nil {
+		panic("unknown golden option set " + g.Opt + ": " + err.Error())
 	}
-	panic("unknown golden option set " + g.Opt)
+	return opts
 }
 
 // goldenMetrics is the snapshotted slice of an MOResult.

@@ -1,0 +1,57 @@
+package sweep
+
+// FuzzSweepSpec fuzzes the spec parser: any byte string must either parse
+// into a spec whose grid expands cleanly or come back as a typed
+// *SpecError — never a panic, never an untyped error.  Wired into
+// `make fuzz`.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func FuzzSweepSpec(f *testing.F) {
+	f.Add([]byte(validSpec))
+	f.Add([]byte(`{"algos":["sort"],"machines":["mc3"],"sizes":[64]}`))
+	f.Add([]byte(`{"algos":["sort","sort"],"machines":["mc3"],"sizes":[64]}`))
+	f.Add([]byte(`{"algos": [`))
+	f.Add([]byte(`{"algoss": 1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"algos":["sort"],"machines":["mc3"],"sizes":[64],
+	  "hypotheses":[{"name":"h","kind":"crossover","metric":"misses.L1",
+	  "subject":{"algo":"sort"},"baseline":{"algo":"sort","options":"flat"},"min_ratio":2}]}`))
+	// The checked-in specs are seed inputs too.
+	for _, p := range []string{"golden_crossover.json", "golden_stability.json"} {
+		if data, err := os.ReadFile(filepath.Join("testdata", p)); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			var se *SpecError
+			if !errors.As(err, &se) {
+				t.Fatalf("Parse returned untyped error %T: %v", err, err)
+			}
+			if se.Field == "" || se.Msg == "" {
+				t.Fatalf("SpecError without field or message: %+v", se)
+			}
+			return
+		}
+		// Accepted specs must expand without panicking and without
+		// duplicate configs.
+		grid := Expand(spec)
+		seen := make(map[string]bool, len(grid))
+		for _, c := range grid {
+			k := c.Key()
+			if seen[k] {
+				t.Fatalf("accepted spec expands to duplicate config %s", k)
+			}
+			seen[k] = true
+		}
+	})
+}

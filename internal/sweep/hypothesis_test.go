@@ -1,0 +1,277 @@
+package sweep
+
+// Detector unit tests on synthetic rows, plus the golden hypothesis suite:
+// checked-in specs over the golden algo × machine matrix whose verdicts
+// are pinned in testdata/golden_verdicts.json.  Regenerate (only when a
+// verdict change is intended and reviewed) with
+//
+//	go test ./internal/sweep -run TestGoldenHypotheses -update
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"oblivhm/internal/harness"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden_verdicts.json")
+
+// synthRow builds a row with the given per-level misses and steps.
+func synthRow(algo, opt string, n int, seed int64, steps int64, misses ...int64) Row {
+	r := Row{Config: Config{Algo: algo, Machine: "hm4", N: n, Options: opt, Seed: seed}, Steps: steps}
+	r.Hash = r.Config.Hash()
+	for i, m := range misses {
+		r.Levels = append(r.Levels, harness.LevelReport{Level: i + 1, MaxMisses: m})
+	}
+	return r
+}
+
+func synthSpec(sizes []int, seeds []int64, hyp ...Hypothesis) *Spec {
+	return &Spec{
+		Algos: []string{"mm"}, Machines: []string{"hm4"}, Sizes: sizes,
+		Seeds: seeds, Options: []string{"default", "flat"}, Hypotheses: hyp,
+	}
+}
+
+func TestCrossoverDetector(t *testing.T) {
+	hyp := Hypothesis{
+		Name: "h", Kind: "crossover", Metric: "misses.L1",
+		Subject:  Selector{Algo: "mm", Options: "default"},
+		Baseline: Selector{Algo: "mm", Options: "flat"},
+		MinRatio: 1.5, AtOrBelowN: 1024,
+	}
+	mk := func(ratios map[int][2]int64) []Row {
+		var rows []Row
+		for _, n := range []int{256, 512, 1024} {
+			pair := ratios[n]
+			rows = append(rows,
+				synthRow("mm", "default", n, 0, 100, pair[0]),
+				synthRow("mm", "flat", n, 0, 100, pair[1]))
+		}
+		return rows
+	}
+
+	t.Run("crossover at declared bound passes", func(t *testing.T) {
+		spec := synthSpec([]int{256, 512, 1024}, nil, hyp)
+		// ratio: 1.0, 1.0, 2.0 — crossover at 1024.
+		vs := Evaluate(spec, mk(map[int][2]int64{256: {100, 100}, 512: {100, 100}, 1024: {100, 200}}))
+		if !vs[0].Pass || vs[0].CrossoverN != 1024 {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("no crossover fails", func(t *testing.T) {
+		spec := synthSpec([]int{256, 512, 1024}, nil, hyp)
+		vs := Evaluate(spec, mk(map[int][2]int64{256: {100, 100}, 512: {100, 100}, 1024: {100, 120}}))
+		if vs[0].Pass || vs[0].CrossoverN != 0 {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+		if !strings.Contains(vs[0].Detail, "no crossover") {
+			t.Errorf("detail = %s", vs[0].Detail)
+		}
+	})
+	t.Run("non-sustained win does not count", func(t *testing.T) {
+		spec := synthSpec([]int{256, 512, 1024}, nil, hyp)
+		// wins at 512, loses again at 1024: the suffix rule rejects it.
+		vs := Evaluate(spec, mk(map[int][2]int64{256: {100, 100}, 512: {100, 300}, 1024: {100, 100}}))
+		if vs[0].Pass {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("crossover above bound fails", func(t *testing.T) {
+		h := hyp
+		h.AtOrBelowN = 512
+		spec := synthSpec([]int{256, 512, 1024}, nil, h)
+		vs := Evaluate(spec, mk(map[int][2]int64{256: {100, 100}, 512: {100, 100}, 1024: {100, 200}}))
+		if vs[0].Pass || vs[0].CrossoverN != 1024 {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+		if !strings.Contains(vs[0].Detail, "above the declared bound") {
+			t.Errorf("detail = %s", vs[0].Detail)
+		}
+	})
+	t.Run("zero bound accepts any crossover", func(t *testing.T) {
+		h := hyp
+		h.AtOrBelowN = 0
+		spec := synthSpec([]int{256, 512, 1024}, nil, h)
+		vs := Evaluate(spec, mk(map[int][2]int64{256: {100, 200}, 512: {100, 200}, 1024: {100, 200}}))
+		if !vs[0].Pass || vs[0].CrossoverN != 256 {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("errored supporting row fails with diagnostic", func(t *testing.T) {
+		spec := synthSpec([]int{256}, nil, hyp)
+		rows := mk(map[int][2]int64{256: {100, 200}})[:2]
+		rows[0].Err = "boom"
+		vs := Evaluate(spec, rows)
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "errored") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("metric level beyond machine fails gracefully", func(t *testing.T) {
+		h := hyp
+		h.Metric = "misses.L9"
+		spec := synthSpec([]int{256}, nil, h)
+		vs := Evaluate(spec, mk(map[int][2]int64{256: {100, 200}})[:2])
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "cache levels") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+}
+
+func TestStabilityDetector(t *testing.T) {
+	hyp := Hypothesis{Name: "s", Kind: "stability", Metric: "steps", Epsilon: 0.05}
+	t.Run("within epsilon passes", func(t *testing.T) {
+		spec := synthSpec([]int{256}, []int64{1, 2}, hyp)
+		vs := Evaluate(spec, []Row{
+			synthRow("mm", "default", 256, 1, 100, 10),
+			synthRow("mm", "default", 256, 2, 103, 10),
+		})
+		if !vs[0].Pass {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+		if want := (103.0 - 100.0) / 101.5; vs[0].Spread != want {
+			t.Errorf("spread = %g, want %g", vs[0].Spread, want)
+		}
+	})
+	t.Run("beyond epsilon fails", func(t *testing.T) {
+		spec := synthSpec([]int{256}, []int64{1, 2}, hyp)
+		vs := Evaluate(spec, []Row{
+			synthRow("mm", "default", 256, 1, 100, 10),
+			synthRow("mm", "default", 256, 2, 120, 10),
+		})
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "exceeds epsilon") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("empty filter match fails", func(t *testing.T) {
+		h := hyp
+		h.Filter = Selector{Algo: "mm", Options: "steal"}
+		spec := synthSpec([]int{256}, []int64{1, 2}, h)
+		vs := Evaluate(spec, []Row{synthRow("mm", "default", 256, 1, 100, 10)})
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "matched no rows") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("single-seed group fails", func(t *testing.T) {
+		spec := synthSpec([]int{256}, []int64{1, 2}, hyp)
+		vs := Evaluate(spec, []Row{synthRow("mm", "default", 256, 1, 100, 10)})
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "single seed") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+}
+
+// ---- golden suite ----
+
+// goldenSpecs are the checked-in specs whose verdicts are pinned; they run
+// over the same golden algo × machine matrix as internal/harness.
+var goldenSpecs = []string{"golden_crossover.json", "golden_stability.json"}
+
+func TestGoldenHypotheses(t *testing.T) {
+	got := make(map[string][]Verdict)
+	for _, name := range goldenSpecs {
+		data, err := os.ReadFile(filepath.Join("testdata", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Verdicts must be identical at any worker count: evaluate the
+		// rows from a serial and a fanned-out sweep.
+		for _, workers := range []int{1, 4} {
+			rows, err := Collect(spec, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			verdicts := Evaluate(spec, rows)
+			if prev, ok := got[name]; ok && !reflect.DeepEqual(prev, verdicts) {
+				t.Fatalf("%s: verdicts differ between worker counts\n%v\nvs\n%v", name, prev, verdicts)
+			}
+			got[name] = verdicts
+		}
+		for _, v := range got[name] {
+			if !v.Pass {
+				t.Errorf("%s: golden hypothesis failed: %s", name, v)
+			}
+		}
+	}
+
+	goldenPath := filepath.Join("testdata", "golden_verdicts.json")
+	if *update {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	var want map[string][]Verdict
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range goldenSpecs {
+		if !reflect.DeepEqual(want[name], got[name]) {
+			t.Errorf("%s: verdicts diverge from golden snapshot (regenerate with -update if intended)\nwant: %s\ngot:  %s",
+				name, mustJSON(want[name]), mustJSON(got[name]))
+		}
+	}
+}
+
+// TestDemoSpecHypotheses pins the acceptance claim: the checked-in demo
+// spec reproduces the paper-grounded SB-vs-flat crossover on hm4 as
+// passing verdicts, deterministically across worker counts.
+func TestDemoSpecHypotheses(t *testing.T) {
+	for _, name := range []string{"sb_vs_flat.json", "chaos_stability.json", "smoke.json"} {
+		data, err := os.ReadFile(filepath.Join("..", "..", "specs", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		var prev []Verdict
+		for _, workers := range []int{1, 4} {
+			rows, err := Collect(spec, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			verdicts := Evaluate(spec, rows)
+			if len(verdicts) == 0 {
+				t.Fatalf("%s: no verdicts", name)
+			}
+			for _, v := range verdicts {
+				if !v.Pass {
+					t.Errorf("%s workers=%d: %s", name, workers, v)
+				}
+			}
+			if prev != nil && !reflect.DeepEqual(prev, verdicts) {
+				t.Errorf("%s: verdicts differ between worker counts", name)
+			}
+			prev = verdicts
+		}
+	}
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return string(b)
+}

@@ -1,0 +1,175 @@
+package sweep
+
+import (
+	"fmt"
+
+	"oblivhm/internal/harness"
+)
+
+// Row is one measured grid cell: the config, its hash, and the metric
+// slice of the harness result.  Engine failures (a chaos-provoked typed
+// error, a workload that rejects its input size) land in Err instead of
+// aborting the sweep, so one bad cell cannot sink a thousand-run grid.
+type Row struct {
+	Config
+	Hash     string                `json:"hash"`
+	Steps    int64                 `json:"steps"`
+	Work     int64                 `json:"work"`
+	Steals   int64                 `json:"steals"`
+	PlacedAt []int                 `json:"placedAt,omitempty"`
+	Levels   []harness.LevelReport `json:"levels,omitempty"`
+	Err      string                `json:"err,omitempty"`
+}
+
+// Result reconstructs the harness view of the row, so formatters built on
+// harness.MOResult (cmd/tables) render sweep rows identically to direct
+// runs.
+func (r Row) Result() harness.MOResult {
+	return harness.MOResult{
+		Algo:     r.Algo,
+		Machine:  r.Machine,
+		N:        r.N,
+		Steps:    r.Steps,
+		Work:     r.Work,
+		Levels:   r.Levels,
+		PlacedAt: r.PlacedAt,
+		Steals:   r.Steals,
+	}
+}
+
+// RunnerOpts tunes one sweep execution.
+type RunnerOpts struct {
+	// Workers is the fan-out width; <= 1 runs on a single worker.  The
+	// emitted row stream is byte-identical for every worker count.
+	Workers int
+	// Done holds config hashes already present in the output (resume):
+	// matching grid cells are skipped, not re-run and not re-emitted.
+	Done map[string]bool
+	// Progress, when non-nil, is called after every completed run with the
+	// number of finished and total runs of this invocation.  It runs on
+	// the caller's goroutine.
+	Progress func(done, total int)
+}
+
+// Run expands the validated spec, executes every config not already in
+// opts.Done, and hands rows to emit in grid order.  The fan-out is across
+// runs: each worker goroutine owns an independent deterministic simulation,
+// and a reorder buffer on the calling goroutine re-sequences completions,
+// so emit sees the same byte stream whether Workers is 1 or 64.  An emit
+// error stops the sweep (in-flight runs are drained first) and is returned.
+func Run(spec *Spec, opts RunnerOpts, emit func(Row) error) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	todo := Expand(spec)
+	if len(opts.Done) > 0 {
+		kept := todo[:0]
+		for _, c := range todo {
+			if !opts.Done[c.Hash()] {
+				kept = append(kept, c)
+			}
+		}
+		todo = kept
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+	workers := opts.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+
+	type indexed struct {
+		idx int
+		row Row
+	}
+	jobs := make(chan int)
+	results := make(chan indexed, workers)
+	for w := 0; w < workers; w++ {
+		//oblivcheck:allow determinism: sweep fan-out is across independent deterministic runs; the reorder buffer below re-emits rows in grid order, so the output is a pure function of the spec
+		go func() {
+			for idx := range jobs {
+				results <- indexed{idx: idx, row: runOne(todo[idx])}
+			}
+		}()
+	}
+
+	// The calling goroutine both feeds the job channel and re-sequences
+	// completions through a reorder buffer, so emit (and any Writer behind
+	// it) never needs locking and always sees grid order.  On an emit
+	// error the feed channel goes nil (never selected), the loop drains
+	// the in-flight runs, and every worker exits via the close below.
+	var emitErr error
+	pending := make(map[int]Row)
+	submitted, finished, nextEmit := 0, 0, 0
+	for finished < submitted || (emitErr == nil && submitted < len(todo)) {
+		var feed chan<- int
+		if emitErr == nil && submitted < len(todo) {
+			feed = jobs
+		}
+		select {
+		case feed <- submitted:
+			submitted++
+			continue
+		case r := <-results:
+			finished++
+			pending[r.idx] = r.row
+		}
+		for {
+			row, ok := pending[nextEmit]
+			if !ok {
+				break
+			}
+			delete(pending, nextEmit)
+			nextEmit++
+			if emitErr == nil {
+				emitErr = emit(row)
+			}
+		}
+		if opts.Progress != nil {
+			opts.Progress(finished, len(todo))
+		}
+	}
+	close(jobs)
+	return emitErr
+}
+
+// Collect runs the spec and returns every row in grid order — the
+// in-memory entry used by cmd/tables and the hypothesis evaluator.
+func Collect(spec *Spec, workers int) ([]Row, error) {
+	var rows []Row
+	err := Run(spec, RunnerOpts{Workers: workers}, func(r Row) error {
+		rows = append(rows, r)
+		return nil
+	})
+	return rows, err
+}
+
+// runOne measures a single grid cell through the shared harness entry.
+func runOne(c Config) Row {
+	row := Row{Config: c, Hash: c.Hash()}
+	res, err := harness.Run(harness.RunConfig{
+		Algo: c.Algo, Machine: c.Machine, N: c.N, Options: c.Options, Seed: c.Seed,
+	})
+	if err != nil {
+		row.Err = err.Error()
+		return row
+	}
+	row.Steps = res.Steps
+	row.Work = res.Work
+	row.Steals = res.Steals
+	row.PlacedAt = res.PlacedAt
+	row.Levels = res.Levels
+	return row
+}
+
+// String renders the row compactly for logs and progress lines.
+func (r Row) String() string {
+	if r.Err != "" {
+		return fmt.Sprintf("%s: error: %s", r.Key(), r.Err)
+	}
+	return fmt.Sprintf("%s: steps=%d work=%d steals=%d", r.Key(), r.Steps, r.Work, r.Steals)
+}

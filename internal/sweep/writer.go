@@ -1,0 +1,128 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Writer consumes rows in grid order.  Both implementations are plain
+// streaming encoders: a row is on the wire before the next run finishes,
+// so a killed sweep loses at most the rows still in the bufio window.
+type Writer interface {
+	Write(Row) error
+	Flush() error
+}
+
+// JSONLWriter streams one JSON object per line.  JSONL is the resumable
+// format: every row carries its config hash, and ReadDone recovers the
+// completed set from a partial file.
+type JSONLWriter struct {
+	enc *json.Encoder
+	buf *bufio.Writer
+}
+
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	buf := bufio.NewWriter(w)
+	return &JSONLWriter{enc: json.NewEncoder(buf), buf: buf}
+}
+
+func (w *JSONLWriter) Write(r Row) error { return w.enc.Encode(r) }
+func (w *JSONLWriter) Flush() error      { return w.buf.Flush() }
+
+// csvHeader is the fixed CSV schema.  Per-level series are
+// semicolon-joined so the column set does not depend on the machine axis.
+var csvHeader = []string{
+	"algo", "machine", "n", "options", "seed", "hash",
+	"steps", "work", "steals", "misses", "placed_at", "err",
+}
+
+// CSVWriter streams rows in the fixed csvHeader schema.
+type CSVWriter struct {
+	w      *csv.Writer
+	header bool
+}
+
+func NewCSVWriter(w io.Writer) *CSVWriter { return &CSVWriter{w: csv.NewWriter(w)} }
+
+func (w *CSVWriter) Write(r Row) error {
+	if !w.header {
+		w.header = true
+		if err := w.w.Write(csvHeader); err != nil {
+			return err
+		}
+	}
+	misses := make([]string, len(r.Levels))
+	for i, l := range r.Levels {
+		misses[i] = strconv.FormatInt(l.MaxMisses, 10)
+	}
+	placed := make([]string, len(r.PlacedAt))
+	for i, p := range r.PlacedAt {
+		placed[i] = strconv.Itoa(p)
+	}
+	return w.w.Write([]string{
+		r.Algo, r.Machine, strconv.Itoa(r.N), r.Options,
+		strconv.FormatInt(r.Seed, 10), r.Hash,
+		strconv.FormatInt(r.Steps, 10), strconv.FormatInt(r.Work, 10),
+		strconv.FormatInt(r.Steals, 10),
+		strings.Join(misses, ";"), strings.Join(placed, ";"), r.Err,
+	})
+}
+
+func (w *CSVWriter) Flush() error {
+	w.w.Flush()
+	return w.w.Error()
+}
+
+// ReadRows parses a JSONL result stream back into rows, tolerating a
+// truncated final line (the expected shape of a killed sweep).
+func ReadRows(r io.Reader) ([]Row, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var rows []Row
+	for i, text := range lines {
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		var row Row
+		if err := json.Unmarshal([]byte(text), &row); err != nil {
+			// A torn final line is the expected shape of a killed sweep
+			// and is simply re-run on resume; garbage earlier is not.
+			if i == len(lines)-1 {
+				break
+			}
+			return nil, fmt.Errorf("sweep results line %d: %w", i+1, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ReadDone extracts the config-hash set from a JSONL result stream: the
+// resume key set.  Rows that errored are not counted as done, so a resumed
+// sweep retries them.
+func ReadDone(r io.Reader) (map[string]bool, []Row, error) {
+	rows, err := ReadRows(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(map[string]bool, len(rows))
+	for _, row := range rows {
+		if row.Err == "" && row.Hash != "" {
+			done[row.Hash] = true
+		}
+	}
+	return done, rows, nil
+}
