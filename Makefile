@@ -33,12 +33,15 @@ lint: vet oblivcheck
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# One-iteration pass over the E-series benches, serial then parallel: a
-# cheap crash/divergence gate (OBLIVHM_PARALLEL makes benchMO verify the
+# One-iteration pass over the E-series benches, serial then under each
+# parallel backend and their composition: a cheap crash/divergence gate
+# (OBLIVHM_PARALLEL / OBLIVHM_PARALLEL_ROUNDS make benchMO verify the
 # parallel metrics against an untimed serial reference), not a timing run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
 	OBLIVHM_PARALLEL=4 $(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
+	OBLIVHM_PARALLEL_ROUNDS=4 $(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
+	OBLIVHM_PARALLEL_ROUNDS=4 OBLIVHM_PARALLEL=4 $(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
 
 # Regenerate the paper's Table I / Table II / ablation measurements
 # (EXPERIMENTS.md records a captured run).
@@ -80,9 +83,10 @@ cover:
 race:
 	$(GO) test -race ./internal/core/... ./internal/harness/... ./internal/sweep ./cmd/tables
 
-# Race-check the parallel replay backend end to end: stream-level machine
-# equivalence, engine-level schedule equivalence, and the harness golden
-# matrix + chaos sweep, all with real worker threads underneath.
+# Race-check both parallel backends end to end: stream-level machine
+# equivalence, engine-level schedule equivalence (replay pipeline AND the
+# phase-split parallel-rounds engine, DESIGN.md §8/§11), and the harness
+# golden matrix + chaos sweep, all with real worker threads underneath.
 race-parallel:
 	$(GO) test -race -run 'Parallel' ./internal/hm ./internal/core ./internal/harness
 

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"os"
 	"reflect"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -17,21 +18,24 @@ import (
 	"oblivhm/internal/fft"
 	"oblivhm/internal/gep"
 	"oblivhm/internal/harness"
+	"oblivhm/internal/hm"
 	"oblivhm/internal/spms"
 )
 
-// parallelEnvWorkers reads OBLIVHM_PARALLEL: when set to a positive worker
-// count, every simulated MO bench runs under core.WithParallel(w) and is
-// checked against an untimed serial reference run — the CI bench-smoke job
-// uses this to fail on metric divergence (never on wall-clock).
-func parallelEnvWorkers(b *testing.B) int {
-	v := os.Getenv("OBLIVHM_PARALLEL")
+// parallelEnvWorkers reads OBLIVHM_PARALLEL / OBLIVHM_PARALLEL_ROUNDS:
+// when either is set to a positive worker count, every simulated MO bench
+// runs under the corresponding backend (core.WithParallel /
+// core.WithParallelRounds; both set = composed) and is checked against an
+// untimed serial reference run — the CI bench-smoke job uses this to fail
+// on metric divergence (never on wall-clock).
+func parallelEnvWorkers(b *testing.B, name string) int {
+	v := os.Getenv(name)
 	if v == "" {
 		return 0
 	}
 	w, err := strconv.Atoi(v)
 	if err != nil || w <= 0 {
-		b.Fatalf("OBLIVHM_PARALLEL=%q: want a positive worker count", v)
+		b.Fatalf("%s=%q: want a positive worker count", name, v)
 	}
 	return w
 }
@@ -57,13 +61,21 @@ func moMetricsEqual(a, b harness.MOResult) bool {
 func benchMO(b *testing.B, algo, machine string, n int, opts ...core.Opt) {
 	b.Helper()
 	var serial *harness.MOResult
-	if w := parallelEnvWorkers(b); w > 0 {
+	wp := parallelEnvWorkers(b, "OBLIVHM_PARALLEL")
+	wr := parallelEnvWorkers(b, "OBLIVHM_PARALLEL_ROUNDS")
+	if wp > 0 || wr > 0 {
 		ref, err := harness.RunMO(algo, machine, n, opts...)
 		if err != nil {
 			b.Fatal(err)
 		}
 		serial = &ref
-		opts = append(append([]core.Opt{}, opts...), core.WithParallel(w))
+		opts = append([]core.Opt{}, opts...)
+		if wr > 0 {
+			opts = append(opts, core.WithParallelRounds(wr))
+		}
+		if wp > 0 {
+			opts = append(opts, core.WithParallel(wp))
+		}
 		b.ResetTimer() // the serial reference run is not part of the measurement
 	}
 	var res harness.MOResult
@@ -158,6 +170,62 @@ func BenchmarkE13MatMulFlat(b *testing.B) {
 // cmd/tables; here the M(p,B) communication at two block sizes).
 func BenchmarkE15NGEPB2(b *testing.B) { benchNO(b, "ngep", 1<<10, 16, 2) }
 func BenchmarkE15NGEPB8(b *testing.B) { benchNO(b, "ngep", 1<<10, 16, 8) }
+
+// ---- scheduler round-loop microbenchmarks (DESIGN.md §11) ----
+
+// benchRoundLoop runs a Tick-only fork-join workload on hm4: strands
+// consume virtual time without touching memory, so the cache hierarchy and
+// the replay pipeline stay idle and the measurement isolates the scheduler
+// round loop itself — resume/yield handoffs, budget accounting, queue
+// churn, and (under WithParallelRounds) the speculation/commit machinery.
+// The E-benches above are dominated by cache replay; these give round-loop
+// work a direct signal.
+func benchRoundLoop(b *testing.B, tasks, ticks int, opts ...core.Opt) {
+	b.Helper()
+	cfg, err := harness.Machine("hm4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m, err := hm.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := core.NewSim(m, opts...)
+		st := s.Run(1<<16, func(c *core.Ctx) {
+			c.SpawnCGCSB(1<<10, tasks, func(cc *core.Ctx, idx int) {
+				for k := 0; k < ticks; k++ {
+					cc.Tick(4)
+				}
+			})
+		})
+		steps = st.Steps
+	}
+	b.ReportMetric(float64(steps), "vsteps")
+}
+
+// BenchmarkRoundLoopSerial: long-running strands, rare scheduler events —
+// the cost of the per-round lockstep itself.
+func BenchmarkRoundLoopSerial(b *testing.B) { benchRoundLoop(b, 64, 2048) }
+
+// BenchmarkRoundLoopForkHeavy: many tiny tasks, so admissions, placements
+// and joins dominate over in-round execution.
+func BenchmarkRoundLoopForkHeavy(b *testing.B) { benchRoundLoop(b, 1024, 16) }
+
+// BenchmarkRoundLoopParallelRounds: the tick workload under the phase-split
+// backend — epochs of pure rounds run on worker threads, so the delta vs
+// Serial is the speculation win (or, on one CPU, its overhead).
+func BenchmarkRoundLoopParallelRounds(b *testing.B) {
+	benchRoundLoop(b, 64, 2048, core.WithParallelRounds(runtime.GOMAXPROCS(0)))
+}
+
+// BenchmarkRoundLoopForkHeavyParallelRounds: the degenerate case — constant
+// serialization keeps epochs to a round or two, bounding the backend's
+// overhead when speculation cannot pay off.
+func BenchmarkRoundLoopForkHeavyParallelRounds(b *testing.B) {
+	benchRoundLoop(b, 1024, 16, core.WithParallelRounds(runtime.GOMAXPROCS(0)))
+}
 
 // ---- native (real goroutine) throughput of the same algorithm code ----
 

@@ -7,6 +7,7 @@
 //	hmsim -algo fft -n 4096 -machine hm4
 //	hmsim -algo gep -n 4096 -machine mc3 -flat   (E13 scheduler ablation)
 //	hmsim -algo sort -n 4096 -parallel 4         (parallel cache replay)
+//	hmsim -algo sort -n 4096 -parallel-rounds 4  (parallel round execution)
 //	hmsim -algo mm -n 4096 -repeat 10 -cpuprofile cpu.out -memprofile mem.out
 package main
 
@@ -32,6 +33,7 @@ func main() {
 	trace := flag.Bool("trace", false, "print a scheduler trace summary and core timeline")
 	quantum := flag.Int64("quantum", 32, "virtual-time quantum (ops per core per round)")
 	parallel := flag.Int("parallel", 0, "parallel cache-replay workers (0 = serial, -1 = GOMAXPROCS); metrics are byte-identical either way")
+	parRounds := flag.Int("parallel-rounds", 0, "parallel round-execution workers (0 = serial, -1 = GOMAXPROCS); metrics are byte-identical either way, composes with -parallel")
 	repeat := flag.Int("repeat", 1, "run the workload this many times (profiling/timing)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
@@ -47,6 +49,13 @@ func main() {
 	}
 	if *parallel != 0 {
 		opts = append(opts, core.WithParallel(*parallel))
+	}
+	if *parRounds != 0 {
+		w := *parRounds
+		if w < 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		opts = append(opts, core.WithParallelRounds(w))
 	}
 	tr := &core.Trace{}
 	if *trace {

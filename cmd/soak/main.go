@@ -116,6 +116,15 @@ func main() {
 		// exercise the pipeline's drain points under the race detector.
 		{"par2", []core.Opt{core.WithParallel(2)}},
 		{"par4+steal", []core.Opt{core.WithParallel(4), core.WithStealing()}},
+		// Parallel round execution (DESIGN.md §11): the speculation phase
+		// runs per-core strands concurrently, so chaos runs landing on these
+		// sets pin the documented chaos fallback (chaos serializes the loop)
+		// and the determinism probes pin metric equality; composed sets also
+		// drive the replay pipeline from execution-phase threads.
+		{"pr2", []core.Opt{core.WithParallelRounds(2)}},
+		{"pr4", []core.Opt{core.WithParallelRounds(4)}},
+		{"pr2+par2", []core.Opt{core.WithParallelRounds(2), core.WithParallel(2)}},
+		{"pr4+steal", []core.Opt{core.WithParallelRounds(4), core.WithStealing()}},
 	}
 	if *parallel > 0 {
 		for i := range optSets {

@@ -1,0 +1,34 @@
+// Package parfix pins the determinism analyzer's goroutine rule inside the
+// engine scope after the parallel-rounds change: the real internal/core now
+// carries two sanctioned `go` sites (the strand coroutine in runStrand and
+// the speculative launch in speculate()), both annotated with the
+// commit-order equivalence argument — and this fixture proves that a NEW,
+// unsanctioned `go` statement in internal/core still fails the check, so
+// the annotation is a per-site escape hatch, not a package-wide waiver.
+package parfix
+
+// strand is a stub of the engine's schedulable unit.
+type strand struct {
+	resume chan int64
+	yield  chan struct{}
+}
+
+func (st *strand) main() {
+	<-st.resume
+	st.yield <- struct{}{}
+}
+
+// SpeculativeLaunch mirrors the sanctioned site in parround.go: the
+// annotation cites the argument that makes the concurrency unobservable.
+func SpeculativeLaunch(fronts []*strand) {
+	for _, st := range fronts {
+		//oblivcheck:allow determinism: speculative strand launch — pure rounds are replayed by the serial commit walk in (round, core) order, byte-identical to the serial schedule
+		go st.main()
+	}
+}
+
+// UnsanctionedLaunch is the regression the rule exists for: engine code
+// spawning a goroutine without an equivalence argument.
+func UnsanctionedLaunch(st *strand) {
+	go st.main() // want `go statement outside the sanctioned`
+}

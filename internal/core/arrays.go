@@ -132,6 +132,33 @@ func (m Mat) Quads() (m11, m12, m21, m22 Mat) {
 // Row returns row i as a vector view.
 func (m Mat) Row(i int) F64 { return F64{Base: m.addr(i, 0), N: m.Cols} }
 
+// ---- allocation from inside a running task ----
+
+// AllocWords reserves n words of shared memory from inside a task.  The
+// allocator is engine/machine state, so a speculatively executing strand
+// (parround.go) serializes first — mid-run allocation is the reason
+// algorithms should allocate through the Ctx rather than through
+// c.Session() once a run has started.
+func (c *Ctx) AllocWords(n int64) Addr {
+	if c.st != nil {
+		c.serialize()
+	}
+	return c.s.AllocWords(n)
+}
+
+// NewF64 / NewI64 / NewU64 / NewC128 / NewPairs / NewMat are the Ctx
+// counterparts of the Session allocators, safe to call mid-run under every
+// engine backend.
+func (c *Ctx) NewF64(n int) F64     { return F64{Base: c.AllocWords(int64(n)), N: n} }
+func (c *Ctx) NewI64(n int) I64     { return I64{Base: c.AllocWords(int64(n)), N: n} }
+func (c *Ctx) NewU64(n int) U64     { return U64{Base: c.AllocWords(int64(n)), N: n} }
+func (c *Ctx) NewC128(n int) C128   { return C128{Base: c.AllocWords(2 * int64(n)), N: n} }
+func (c *Ctx) NewPairs(n int) Pairs { return Pairs{Base: c.AllocWords(2 * int64(n)), N: n} }
+
+func (c *Ctx) NewMat(rows, cols int) Mat {
+	return Mat{Base: c.AllocWords(int64(rows) * int64(cols)), Rows: rows, Cols: cols, Stride: cols}
+}
+
 // ---- unaccounted access (setup & verification) ----
 
 func (s *Session) peekWord(a Addr) uint64 {

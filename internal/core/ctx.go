@@ -55,6 +55,23 @@ func (c *Ctx) Tick(n int64) {
 	}
 }
 
+// serialize pauses a speculatively executing strand (parround.go) until the
+// engine's commit walk reaches its core's current round: everything past
+// this point may read or mutate scheduler state, which only the serial
+// phases may touch.  No-op on a strand that is not speculating and in
+// native mode, so fork paths call it unconditionally.
+//
+// Fork machinery calls it once at entry AND again after every in-loop
+// charge: a charge can suspend the strand mid-loop (budget exhausted, plain
+// serial yield), and if a later round boundary picks that front strand as a
+// speculator, the wake-up would otherwise run straight into newStrand /
+// enqueue / placeAnchored from an execution-phase thread.
+func (c *Ctx) serialize() {
+	if st := c.st; st != nil && st.spec {
+		st.specReport(yieldMsg{kind: ySerialize})
+	}
+}
+
 // ---- CGC: coarse-grained contiguous scheduling ----
 
 // PFor is a parallel for loop over [0, n) scheduled with the CGC hint: the
@@ -97,6 +114,7 @@ func (c *Ctx) PFor(n, elemWords int, body func(cc *Ctx, lo, hi int)) {
 	// on B_1 block boundaries (arrays are B_1-aligned).
 	cs := (n + nchunks - 1) / nchunks
 	cs = (cs + grain - 1) / grain * grain
+	c.serialize()
 	jn := e.newJoin()
 	myChunk := -1
 	for j := 0; j*cs < n; j++ {
@@ -111,6 +129,7 @@ func (c *Ctx) PFor(n, elemWords int, body func(cc *Ctx, lo, hi int)) {
 		}
 		jn.pending++
 		c.st.charge(1)
+		c.serialize()
 		clo2, chi2 := clo, chi
 		st := e.newStrand(target, e.m.CacheOf(target, 1), jn, func(cc *Ctx) {
 			body(cc, clo2, chi2)
@@ -201,12 +220,15 @@ func (c *Ctx) SpawnSB(tasks ...Task) {
 	}
 	// A single forked task that the scheduler would start right here runs
 	// inline on the parent strand (same schedule, no strand round-trip).
+	// inlineSB reads and mutates scheduler state, so serialize first.
+	c.serialize()
 	if len(tasks) == 1 && c.inlineSB(tasks[0]) {
 		return
 	}
 	jn := e.newJoin()
 	for _, t := range tasks {
 		c.st.charge(1)
+		c.serialize()
 		jn.pending++
 		lbl := t.Label
 		if lbl == "" {
@@ -268,6 +290,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		}
 		return
 	}
+	c.serialize()
 	t := 1
 	i := 1
 	if !e.flat {
@@ -301,6 +324,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		// parallelism.
 		for idx := 0; idx < m; idx++ {
 			c.st.charge(1)
+			c.serialize()
 			jn.pending++
 			id := idx
 			slot := e.leastLoadedSlot(lam, i)
@@ -314,6 +338,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		// parent's reservation (see SpawnSB).
 		for idx := 0; idx < m; idx++ {
 			c.st.charge(1)
+			c.serialize()
 			jn.pending++
 			id := idx
 			core := lam.CoreLo + idx%(lam.CoreHi-lam.CoreLo)
@@ -328,6 +353,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 	d := len(targets)
 	for idx := 0; idx < m; idx++ {
 		c.st.charge(1)
+		c.serialize()
 		jn.pending++
 		id := idx
 		slot := e.slotOf(targets[idx*d/m])
@@ -362,9 +388,25 @@ func (c *Ctx) nativeSpawn(tasks []Task) {
 
 // waitJoin parks the calling strand until all children of jn have finished.
 func (c *Ctx) waitJoin(jn *join) {
+	// jn.pending is scheduler state: a speculatively executing strand (a
+	// speculator picked mid-inline-chunk, whose fork pre-dates the epoch)
+	// must pause HERE, before the park decision — reading pending during the
+	// execution phase would see a value from the wrong virtual round (a
+	// sibling's completion may commit earlier than this strand's report
+	// round, or not yet have committed), silently forking the schedule.
+	c.serialize()
 	if jn.pending > 0 {
 		jn.waiter = c.st
 		c.st.park()
+	}
+	if c.st.spec {
+		// Resumed into a speculative phase (the strand was re-enqueued when
+		// its join completed, then picked as a speculator): the free list is
+		// engine state, so park the recycle on the strand — the conductor
+		// collects it at the end of the phase.  At most one can accumulate:
+		// any later fork serializes before creating its join.
+		c.st.putJn = jn
+		return
 	}
 	c.s.eng.putJoin(jn)
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"oblivhm/internal/hm"
 )
@@ -45,10 +46,11 @@ import (
 type yieldKind int
 
 const (
-	yBudget  yieldKind = iota // budget exhausted, still runnable
-	yBlocked                  // parked on a join or a cache queue
-	yRequeue                  // inline finish must reorder behind admitted strands
-	yDone                     // function returned (or panicked)
+	yBudget    yieldKind = iota // budget exhausted, still runnable
+	yBlocked                    // parked on a join or a cache queue
+	yRequeue                    // inline finish must reorder behind admitted strands
+	yDone                       // function returned (or panicked)
+	ySerialize                  // speculative strand reached a scheduler interaction (parround.go)
 )
 
 type yieldMsg struct {
@@ -77,6 +79,17 @@ type strand struct {
 	jn       *join      // join to signal on completion
 	reserved *cacheSlot // space reservation to release on completion
 	resSpace int64
+
+	// Parallel-rounds speculation state (parround.go).  spec marks a strand
+	// executing concurrently in an epoch's execution phase; specRound counts
+	// the pure rounds it completed before reporting; rep carries the report
+	// (written before the prReport send, read after the receive — the
+	// channel is the happens-before edge); putJn parks a join recycle that
+	// the strand could not hand to the engine while speculating.
+	spec      bool
+	specRound int
+	rep       yieldMsg
+	putJn     *join
 }
 
 // join is a fork-join counter: pending children plus the parked parent.
@@ -115,6 +128,14 @@ type deque struct {
 
 func (d *deque) size() int   { return len(d.buf) - d.head }
 func (d *deque) empty() bool { return len(d.buf) == d.head }
+
+// front peeks at the next strand to run without removing it.
+func (d *deque) front() *strand {
+	if d.empty() {
+		return nil
+	}
+	return d.buf[d.head]
+}
 
 func (d *deque) pushBack(st *strand) { d.buf = append(d.buf, st) }
 
@@ -191,6 +212,21 @@ type engine struct {
 	verify   bool      // WithInvariants / WithChaos: per-round invariant checks
 	blockedL []*strand // strands currently parked (joins), for forensics
 	prevMiss [][]int64 // per-slot miss counters at the last verified round
+
+	// Parallel-rounds state (parround.go).  prWorkers is the WithParallelRounds
+	// setting (0 = off); the rest is per-epoch: specOf maps a core to its
+	// speculator until the commit walk consumes its report, nspec counts
+	// outstanding speculators, commitRound is the loop round index relative
+	// to the epoch's start, prReport collects reports from the concurrently
+	// executing strands, and prAbort tells them to stop at their next round
+	// boundary.
+	prWorkers   int
+	specOf      []*strand
+	nspec       int
+	commitRound int
+	prReport    chan *strand
+	prAbort     atomic.Bool
+	specs       []*strand // epoch scratch
 }
 
 func newEngine(s *Session, m *hm.Machine) *engine {
@@ -204,6 +240,7 @@ func newEngine(s *Session, m *hm.Machine) *engine {
 	}
 	e.runq = make([]deque, m.Cores())
 	e.load = make([]int, m.Cores())
+	e.specOf = make([]*strand, m.Cores())
 	return e
 }
 
@@ -237,6 +274,7 @@ func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx), 
 		st.reserved, st.resSpace = nil, 0
 		st.started, st.done = false, false
 		st.budget, st.rounds, st.grant = 0, 0, 0
+		st.spec, st.specRound, st.putJn = false, 0, nil
 		st.ctx.core, st.ctx.anchor = core, anchor
 	} else {
 		// Cap-1 channels: the protocol is strict ping-pong (at most one
@@ -323,6 +361,10 @@ func (e *engine) run(space int64, root func(*Ctx)) error {
 		e.runq[i] = deque{}
 	}
 	e.blockedL = e.blockedL[:0]
+	e.nspec, e.commitRound = 0, 0
+	for i := range e.specOf {
+		e.specOf[i] = nil
+	}
 	if e.chaos != nil {
 		e.chaos.deferred = e.chaos.deferred[:0]
 	}
@@ -364,6 +406,11 @@ func (e *engine) drain() {
 
 func (e *engine) loop() error {
 	scanAll := e.steal || e.reference
+	// Parallel rounds are eligible only when nothing observes scheduling at
+	// sub-round granularity: chaos draws, invariant checks and the reference
+	// schedule are inherently serial, so those runs stay on the serial path
+	// (and are byte-identical by construction).
+	parOK := e.prWorkers >= 2 && e.chaos == nil && !e.verify && !e.reference
 	for e.live > 0 || e.qd > 0 {
 		// Chaos: admissions deferred at the previous round boundary fire
 		// before the scan, so deferral perturbs timing without ever costing
@@ -374,6 +421,9 @@ func (e *engine) loop() error {
 			for _, slot := range defs {
 				e.admitNow(slot)
 			}
+		}
+		if parOK && e.nspec == 0 && bits.OnesCount64(e.active) >= 2 {
+			e.speculate()
 		}
 		progressed := false
 		if scanAll {
@@ -399,6 +449,7 @@ func (e *engine) loop() error {
 			}
 		}
 		e.clock += e.quantum
+		e.commitRound++
 		if e.failErr != nil {
 			return e.failErr
 		}
@@ -452,13 +503,24 @@ func (e *engine) forensics() DeadlockReport {
 }
 
 // runCore gives core c its turn in the current round: up to quantum
-// operations shared by the strands of its queue in order.
+// operations shared by the strands of its queue in order.  While an epoch's
+// commit walk is in flight and this core has an unconsumed speculator, the
+// turn replays the speculated round instead (parround.go).
 func (e *engine) runCore(c int) bool {
-	progressed := false
+	if e.nspec > 0 && e.specOf[c] != nil {
+		return e.commitCore(c)
+	}
 	budget := e.quantum
 	if e.chaos != nil {
 		budget = e.chaos.budget(e.quantum)
 	}
+	return e.runCoreRest(c, budget)
+}
+
+// runCoreRest runs the (rest of the) core's turn: strands of its queue in
+// order, sharing the given budget.
+func (e *engine) runCoreRest(c int, budget int64) bool {
+	progressed := false
 	for budget > 0 {
 		st := e.pop(c)
 		if st == nil && e.steal {
@@ -491,7 +553,14 @@ func (e *engine) runStrand(st *strand, budget int64) int64 {
 		}
 	}
 	st.resume <- budget
-	msg := <-st.yield
+	return e.handleYield(st, <-st.yield)
+}
+
+// handleYield applies one strand yield to the scheduler state, returning the
+// strand's unused budget.  Factored out of runStrand so the parallel-rounds
+// commit walk (parround.go) can resume a paused speculator mid-turn and
+// handle its next yield identically.
+func (e *engine) handleYield(st *strand, msg yieldMsg) int64 {
 	switch msg.kind {
 	case yBudget:
 		// Exhausted its grant; runnable again next round (front of queue
@@ -507,19 +576,24 @@ func (e *engine) runStrand(st *strand, budget int64) int64 {
 		e.enqueue(st)
 		return st.budget
 	case yDone:
-		if msg.panicked != nil && e.failErr == nil {
-			e.failErr = &RunError{
-				Core:        st.core,
-				AnchorLevel: st.anchor.Level,
-				AnchorIndex: st.anchor.Index,
-				Label:       st.label,
-				Value:       msg.panicked,
-			}
-		}
-		e.finish(st)
+		e.handleDone(st, msg.panicked)
 		return st.budget
 	}
 	return 0
+}
+
+// handleDone records a strand failure (first one wins) and finishes it.
+func (e *engine) handleDone(st *strand, panicked any) {
+	if panicked != nil && e.failErr == nil {
+		e.failErr = &RunError{
+			Core:        st.core,
+			AnchorLevel: st.anchor.Level,
+			AnchorIndex: st.anchor.Index,
+			Label:       st.label,
+			Value:       panicked,
+		}
+	}
+	e.finish(st)
 }
 
 // finish handles strand completion: join signalling, space release, queue
@@ -697,6 +771,15 @@ func (st *strand) main() {
 			}()
 			st.fn(st.ctx)
 		}()
+		if st.spec {
+			// Finished while speculating: report to the epoch conductor and
+			// park at the top of the loop for the next assignment — the
+			// commit walk finishes the strand (and surfaces the failure) at
+			// its recorded round, without resuming this goroutine.
+			st.rep = yieldMsg{kind: yDone, panicked: failed}
+			st.eng.prReport <- st
+			continue
+		}
 		st.yield <- yieldMsg{kind: yDone, panicked: failed}
 	}
 }
@@ -723,6 +806,10 @@ func (st *strand) charge(n int64) {
 // engine re-grants: the new budget is a full quantum, not quantum minus the
 // overdraft.
 func (st *strand) chargeSlow() {
+	if st.spec {
+		st.specSlow()
+		return
+	}
 	for st.budget <= 0 {
 		e := st.eng
 		if st.rounds > 0 && !e.batchAbort {
@@ -737,14 +824,28 @@ func (st *strand) chargeSlow() {
 }
 
 // park blocks the strand until the engine resumes it (join complete).
+// Unreachable while speculating: every park is preceded by a serialize hook
+// (waitJoin entry, fork entries) that pauses a speculator before the state
+// reads deciding the park — a spec park here would mean that decision was
+// made on stale scheduler state, so fail loudly (the panic surfaces through
+// the speculator's yDone report as a *RunError) rather than corrupt the
+// schedule.
 func (st *strand) park() {
+	if st.spec {
+		panic("core: strand parked while speculating (missing serialize hook)")
+	}
 	st.yield <- yieldMsg{kind: yBlocked}
 	st.recv()
 }
 
 // requeue yields the strand to the back of its core's queue, behind strands
-// the inline finish admitted, and blocks until re-granted.
+// the inline finish admitted, and blocks until re-granted.  Unreachable
+// while speculating for the same reason as park (inlineRejoin's queue check
+// follows the inline epilogue serialize hook).
 func (st *strand) requeue() {
+	if st.spec {
+		panic("core: strand requeued while speculating (missing serialize hook)")
+	}
 	st.yield <- yieldMsg{kind: yRequeue}
 	st.recv()
 }
@@ -780,10 +881,14 @@ func (c *Ctx) inlineSB(t Task) bool {
 		return false
 	}
 	c.st.charge(1)
+	c.serialize() // the charge can suspend; a speculative wake must not touch e.live
 	e.live++
 	e.load[c.core]++
 	e.emit(EvNested, c.core, lam.Level, lam.Index, t.Space)
 	t.Fn(c) // child anchor and core equal the parent's
+	// A speculator picked mid-inline-task reaches this epilogue without any
+	// fork hook in between; the accounting below is engine state.
+	c.serialize()
 	e.emit(EvDone, c.core, 0, 0, 0)
 	e.live--
 	e.load[c.core]--
@@ -799,6 +904,7 @@ func (c *Ctx) inlineAnchored(slot *cacheSlot, t Task) bool {
 		return false
 	}
 	c.st.charge(1)
+	c.serialize() // as in inlineSB: the charge can suspend mid-machinery
 	slot.used += t.Space
 	slot.anchd++
 	slot.placed++
@@ -807,6 +913,7 @@ func (c *Ctx) inlineAnchored(slot *cacheSlot, t Task) bool {
 	e.emit(EvAnchor, c.core, slot.cache.Level, slot.cache.Index, t.Space)
 	cc := &Ctx{s: c.s, core: c.core, anchor: slot.cache, st: c.st}
 	t.Fn(cc)
+	c.serialize() // mid-inline-task speculator: epilogue is engine state
 	e.emit(EvDone, c.core, 0, 0, 0)
 	e.live--
 	e.load[c.core]--

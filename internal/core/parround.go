@@ -1,0 +1,292 @@
+package core
+
+// Parallel round execution (DESIGN.md §11): run the per-core strand work of
+// many lockstep rounds on real OS threads at once, while keeping the
+// schedule and every frozen observable byte-identical to the serial engine.
+//
+// The engine's rounds have a rigid structure the parallelism exploits:
+//
+//   - Run-to-completion within a core: the front strand of a non-empty run
+//     queue receives the core's full quantum at the top of every round, and
+//     strands enqueued behind it cannot run until it blocks or finishes.
+//   - Front stability: other cores only push to the BACK of a queue, and
+//     the stealing extension only takes from the back of queues holding at
+//     least two strands, so nothing but the owning core's own turn can
+//     change which strand is at the front.
+//
+// Together these mean that as long as a front strand performs only pure
+// work — loads, stores, ticks — its execution for the next many rounds is
+// already determined at the current round boundary: full quantum per round,
+// no scheduler decisions in between.  An epoch therefore has three phases:
+//
+//  1. Serial pre-round (speculate): at a round boundary, pick the front
+//     strand of each active core (in core order, up to prWorkers of them)
+//     and resume them all concurrently.  Memory accesses divert into
+//     per-core fan-in buffers (hm/fanin.go) with a mark at every round
+//     boundary; data words are touched directly, which is sound because
+//     concurrently runnable strands of a race-free fork-join program have
+//     disjoint footprints (the property the chaos sweeps pin).
+//  2. Parallel execution: each speculator runs pure rounds on its own OS
+//     thread until it (a) exhausts the epoch's round allowance or sees the
+//     abort flag at a boundary (reports yBudget), (b) reaches a scheduler
+//     interaction — a fork, a join recycle, an allocation (reports
+//     ySerialize and pauses mid-round), or (c) returns (reports yDone).
+//     The first report raises the abort flag, bounding the epoch at the
+//     earliest interaction so the serial tail stays short.  The conductor
+//     collects exactly one report per speculator; all of them are parked
+//     before the commit starts.
+//  3. Serial commit: the normal round loop continues, but a core with an
+//     unconsumed speculator replays its recorded rounds instead of running
+//     strands: at commit round r < specRound the turn is pop + flush the
+//     round-r access chunk into the cache model + requeue at the front —
+//     exactly the serial pop/grant/yield-budget/requeue turn.  At the
+//     report round the speculator is consumed: a yBudget reporter becomes a
+//     plain runnable front strand again (it is parked in exactly the state
+//     a serial budget yield leaves it in); a ySerialize reporter has its
+//     partial round flushed and is resumed live with its leftover budget,
+//     its next real yield handled by the ordinary switch; a yDone reporter
+//     has its partial round flushed and is finished.  Cores without a
+//     speculator run plain serial turns throughout.
+//
+// Why every observable is byte-identical to serial:
+//
+//   - Schedule: all scheduler state (queues, loads, joins, slots, clock)
+//     is mutated only in serial phases, in the serial order — speculation
+//     touches none of it.  The commit walk visits cores in the same order
+//     as the serial loop, and each replayed turn performs the same queue
+//     transitions the serial turn would.
+//   - Cache counters: chunks are flushed in (round, core) order — the
+//     serial interleaving — and each flush either walks the hierarchy
+//     in-line or bulk-feeds the PR 4 replay pipeline, which is itself
+//     byte-identical by the stream-equivalence argument of DESIGN.md §8.
+//     A speculator resumed live continues feeding the same stream from the
+//     exact point its recording stopped, within the same turn.
+//   - Clock and trace: speculative rounds emit no events (pure work never
+//     does), and the commit walk advances e.clock once per round like any
+//     other round, so events emitted by resumed strands carry the serial
+//     timestamps.
+//   - Budgets: every speculated round grants the front strand the full
+//     quantum, which is what the serial engine grants the first strand of
+//     a turn; overshoot forgiveness at boundaries matches chargeSlow.  The
+//     solo-batch fast path never engages while speculators are outstanding
+//     (their queued strands keep nrun >= 1), and its absence during an
+//     epoch is unobservable by the same withReference() equivalence that
+//     licenses its presence.
+//   - Abort timing: the abort flag only decides how far ahead a speculator
+//     records before pausing.  A strand consumed early at commit simply
+//     continues live, executing the identical operations it would have
+//     recorded, so speculation depth is a performance knob with no
+//     observable effect — OS scheduling nondeterminism cannot leak in.
+//
+// Failure semantics: a panic inside a speculator is recovered and reported
+// as its yDone; the commit surfaces it as a *RunError at the exact round
+// the serial engine would have.  Chunks recorded beyond the failing round
+// are discarded uncounted (the serial engine never executed them); as in
+// the seed, memory contents after a failed run are unspecified.
+//
+// Chaos, invariant verification and withReference runs serialize the entire
+// loop (their draw streams and checks are inherently order-sensitive), so
+// WithChaos + WithParallelRounds is byte-identical by construction.
+
+import (
+	"math/bits"
+	"runtime"
+)
+
+// prEpochRounds caps how many whole rounds one speculator may run ahead in
+// a single epoch.  Epochs usually end much earlier — at the first
+// speculator's scheduler interaction, via the abort flag — so the cap only
+// bounds fan-in buffer growth on long pure phases (quantum words of
+// recording per round per core).
+const prEpochRounds = 1024
+
+// WithParallelRounds runs the engine's lockstep rounds on a pool of real OS
+// threads: at eligible round boundaries the front strands of up to workers
+// active cores execute their upcoming rounds concurrently, and a serial
+// commit phase replays the recorded rounds in the exact serial order.  The
+// schedule and every frozen observable — Steps, per-cache miss counters,
+// placements, steals, the trace stream — are byte-identical to the serial
+// default.  Composes with WithParallel (the recorded access chunks feed the
+// replay pipeline directly).  Chaos, invariant-checked and reference runs
+// stay fully serial.  workers <= 0 selects GOMAXPROCS.
+func WithParallelRounds(workers int) Opt {
+	return func(s *Session) {
+		if s.eng != nil {
+			if workers <= 0 {
+				workers = runtime.GOMAXPROCS(0)
+			}
+			s.eng.prWorkers = workers
+		}
+	}
+}
+
+// speculate runs phases 1 and 2 of an epoch: launch the front strand of
+// each active core (core order, capped at prWorkers) into concurrent pure
+// execution, collect one report per speculator, and leave the consumption
+// of those reports to the commit turns of the following rounds.  Called at
+// a round boundary with at least two active cores.
+func (e *engine) speculate() {
+	specs := e.specs[:0]
+	mask := e.active
+	for mask != 0 && len(specs) < e.prWorkers {
+		c := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		specs = append(specs, e.runq[c].front())
+	}
+	e.specs = specs
+	if len(specs) < 2 {
+		return
+	}
+	if e.prReport == nil {
+		e.prReport = make(chan *strand, len(e.runq))
+	}
+	e.prAbort.Store(false)
+	e.m.StartRoundFanIn()
+	for _, st := range specs {
+		st.spec = true
+		st.specRound = 0
+		st.grant = prEpochRounds - 1 // plus the initial budget = prEpochRounds rounds
+		e.specOf[st.core] = st
+		if !st.started {
+			st.started = true
+			if !st.spawned {
+				st.spawned = true
+				//oblivcheck:allow determinism: speculative strand launch — pure rounds recorded per core, replayed by the serial commit walk in (round, core) order, byte-identical to the serial schedule (see the package comment)
+				go st.main()
+			}
+		}
+		st.resume <- e.quantum
+	}
+	e.nspec = len(specs)
+	// Collect exactly one report per speculator.  Receive order is OS
+	// nondeterminism and is not consulted: reports live on the strands,
+	// keyed by core.  The first report raises the abort flag so the rest
+	// pause at their next round boundary.
+	for range specs {
+		<-e.prReport
+		e.prAbort.Store(true)
+	}
+	e.m.EndRoundFanIn()
+	// Hand back join recycles the speculators could not perform themselves
+	// (freeJoins is engine state).  Recycle order is unobservable.
+	for _, st := range specs {
+		if st.putJn != nil {
+			e.putJoin(st.putJn)
+			st.putJn = nil
+		}
+	}
+	e.commitRound = 0
+}
+
+// commitCore replays core c's turn for the current commit round from its
+// speculator's recording (phase 3).  See the package comment for the
+// round-by-round correspondence with serial turns.
+func (e *engine) commitCore(c int) bool {
+	st := e.specOf[c]
+	if e.commitRound < st.specRound {
+		// A fully speculated pure round: the serial turn would pop the
+		// front, grant it the quantum, and requeue it at the budget yield.
+		if p := e.pop(c); p != st {
+			e.specFail(p)
+			return true
+		}
+		e.m.FlushFanChunk(c, e.commitRound)
+		e.requeueFront(st)
+		return true
+	}
+	// The report round: consume the speculator.
+	e.specOf[c] = nil
+	e.nspec--
+	switch st.rep.kind {
+	case yBudget:
+		// Stopped exactly at a round boundary, still runnable: the strand is
+		// parked precisely as a serial budget yield leaves it, so this turn
+		// is a plain serial turn with it at the front.
+		st.spec = false
+		return e.runCoreRest(c, e.quantum)
+	case ySerialize:
+		// Paused mid-round at a scheduler interaction: flush the partial
+		// round, resume it live with its leftover budget, and handle its
+		// next real yield exactly as runStrand would.
+		if p := e.pop(c); p != st {
+			e.specFail(p)
+			return true
+		}
+		e.m.FlushFanChunk(c, st.specRound)
+		st.spec = false
+		st.grant = 0
+		st.resume <- st.budget
+		leftover := e.handleYield(st, <-st.yield)
+		e.runCoreRest(c, leftover)
+		return true
+	case yDone:
+		// Returned (or panicked) mid-round: flush the partial round, then
+		// finish the strand as the serial yDone handler would and give the
+		// rest of the turn to whatever the completion made runnable.
+		if p := e.pop(c); p != st {
+			e.specFail(p)
+			return true
+		}
+		e.m.FlushFanChunk(c, st.specRound)
+		st.spec = false
+		leftover := st.budget
+		e.handleDone(st, st.rep.panicked)
+		e.runCoreRest(c, leftover)
+		return true
+	}
+	return true
+}
+
+// specFail aborts the epoch on a front-stability violation — impossible by
+// construction, kept as a typed failure rather than silent corruption.  The
+// unconsumed speculators stay parked (leaked, like blocked strands of any
+// failed run).
+func (e *engine) specFail(got *strand) {
+	if got != nil {
+		e.requeueFront(got)
+	}
+	if e.failErr == nil {
+		e.failErr = &InvariantError{
+			Clock:  e.clock,
+			Name:   "parallel-rounds-front",
+			Detail: "speculated strand no longer at the front of its core's run queue at commit",
+		}
+	}
+	e.nspec = 0
+	for i := range e.specOf {
+		e.specOf[i] = nil
+	}
+}
+
+// specSlow is the round-boundary crossing of a speculatively executing
+// strand (the spec branch of chargeSlow): mark the completed round in the
+// core's fan-in buffer and either continue into the next round locally or
+// report to the conductor and pause.  The engine is not touched — clock and
+// queue transitions happen at commit.
+func (st *strand) specSlow() {
+	e := st.eng
+	for st.budget <= 0 {
+		st.specRound++
+		e.m.MarkRound(st.core)
+		if st.rounds > 0 && !e.prAbort.Load() {
+			st.rounds--
+			st.budget = e.quantum // overshoot forgiven, as at every boundary
+			continue
+		}
+		// Allowance exhausted or epoch aborted: report and pause.  The
+		// commit walk re-grants a positive budget (it treats the strand as
+		// a plain front strand from its report round on), so the loop exits
+		// after the resume.
+		st.specReport(yieldMsg{kind: yBudget})
+	}
+}
+
+// specReport hands the strand's report to the epoch conductor and pauses
+// until the commit walk resumes it; the strand continues serially from the
+// exact point it paused (st.spec is cleared by the engine before the
+// resume).
+func (st *strand) specReport(msg yieldMsg) {
+	st.rep = msg
+	st.eng.prReport <- st
+	st.recv()
+}

@@ -1,0 +1,208 @@
+package core
+
+// Engine-level tests for the parallel-rounds backend (WithParallelRounds):
+// full runs on identical machines, serial vs phase-split, must agree on
+// every observable the determinism contract freezes — Steps, the complete
+// machine snapshot, placements, steals and the heap contents — alone, under
+// every scheduler option, composed with the WithParallel replay pipeline,
+// and on the failure path.  These run under -race in CI: the speculation
+// phase is the only place the engine lets several strands execute at the
+// same real instant, so the race detector doubles as a proof that the
+// fan-in really has no shared mutable state.
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"oblivhm/internal/hm"
+)
+
+// tickHeavyWorkload runs long pure stretches (ticks + array walks) between
+// rare forks — the best case for speculation, where epochs should span many
+// rounds and nearly all execution happens on the worker threads.  Each task
+// owns a disjoint 128-word range: concurrently runnable strands of a
+// fork-join program must have disjoint footprints (the race-freedom the
+// whole simulator assumes), and the speculation phase really does run them
+// at the same real instant.
+func tickHeavyWorkload(s *Session) func(*Ctx) {
+	v := s.NewI64(1 << 10)
+	return func(c *Ctx) {
+		c.SpawnCGCSB(1<<11, 8, func(cc *Ctx, idx int) {
+			base := v.Base + Addr(idx<<7)
+			for i := 0; i < 1<<10; i++ {
+				a := base + Addr(i%(1<<7))
+				cc.StoreI(a, cc.LoadI(a)+int64(idx))
+				cc.Tick(3)
+			}
+		})
+		for i := 0; i < 256; i++ {
+			c.StoreI(v.Base+Addr(i), c.LoadI(v.Base+Addr(i))+1)
+		}
+	}
+}
+
+// forkHeavyWorkload serializes constantly (single-task SB forks every few
+// operations) — the worst case, where epochs degenerate to a round or two
+// and the engine must still replay the exact serial schedule.
+func forkHeavyWorkload(s *Session) func(*Ctx) {
+	v := s.NewI64(512)
+	var rec func(c *Ctx, lo Addr, d int)
+	rec = func(c *Ctx, lo Addr, d int) {
+		if d == 0 {
+			// Each of the 64 leaves owns the disjoint 8-word range [lo, lo+8).
+			for j := 0; j < 8; j++ {
+				c.StoreI(v.Base+lo+Addr(j), c.LoadI(v.Base+lo+Addr(j))+1)
+			}
+			return
+		}
+		half := Addr(4) << uint(d) // child subtree width: 8<<(d-1) words
+		c.SpawnSB(
+			Task{Space: int64(64 << uint(d%3)), Fn: func(cc *Ctx) { rec(cc, lo, d-1) }},
+			Task{Space: int64(64 << uint(d%3)), Fn: func(cc *Ctx) { rec(cc, lo+half, d-1) }},
+		)
+	}
+	return func(c *Ctx) { rec(c, 0, 6) }
+}
+
+func parRoundWorkloads() map[string]func(*Session) func(*Ctx) {
+	return map[string]func(*Session) func(*Ctx){
+		"mixed": parallelWorkload,
+		"tick":  tickHeavyWorkload,
+		"fork":  forkHeavyWorkload,
+	}
+}
+
+func checkParRoundsEquiv(t *testing.T, name string, cfg hm.Config, opts []Opt, workload func(*Session) func(*Ctx), composed bool) {
+	t.Helper()
+	t.Run(name, func(t *testing.T) {
+		serial := runEquiv(cfg, 1<<15, opts, workload, false)
+		for _, w := range []int{2, 4, 8} {
+			popts := append(append([]Opt{}, opts...), WithParallelRounds(w))
+			if composed {
+				popts = append(popts, WithParallel(w))
+			}
+			par := runEquiv(cfg, 1<<15, popts, workload, false)
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("workers=%d diverged from serial:\nserial   %+v\nparallel %+v", w, serial, par)
+			}
+		}
+	})
+}
+
+// TestParallelRoundsMatchSerial: the base matrix — machine shapes ×
+// workloads × scheduler options, parallel-rounds alone.
+func TestParallelRoundsMatchSerial(t *testing.T) {
+	for mname, cfg := range equivMachines() {
+		for wname, wl := range parRoundWorkloads() {
+			checkParRoundsEquiv(t, mname+"/"+wname, cfg, nil, wl, false)
+		}
+		checkParRoundsEquiv(t, mname+"/steal", cfg, []Opt{WithStealing()}, parallelWorkload, false)
+		checkParRoundsEquiv(t, mname+"/flat", cfg, []Opt{WithFlatScheduler()}, parallelWorkload, false)
+		checkParRoundsEquiv(t, mname+"/q8", cfg, []Opt{WithQuantum(8)}, parallelWorkload, false)
+	}
+}
+
+// TestParallelRoundsComposed: WithParallelRounds + WithParallel — recorded
+// chunks bulk-feed the replay pipeline, and everything must still match the
+// fully serial run.
+func TestParallelRoundsComposed(t *testing.T) {
+	for mname, cfg := range equivMachines() {
+		for wname, wl := range parRoundWorkloads() {
+			checkParRoundsEquiv(t, mname+"/"+wname, cfg, nil, wl, true)
+		}
+		checkParRoundsEquiv(t, mname+"/steal", cfg, []Opt{WithStealing()}, parallelWorkload, true)
+	}
+}
+
+// TestParallelRoundsUnderChaos: chaos runs serialize the whole loop (the
+// draw stream is order-sensitive), so WithChaos + WithParallelRounds must be
+// byte-identical to WithChaos alone — the documented fallback.
+func TestParallelRoundsUnderChaos(t *testing.T) {
+	cfg := hm.HM4(4, 4)
+	for seed := int64(1); seed <= 4; seed++ {
+		serial := runEquiv(cfg, 1<<15, []Opt{WithChaos(seed)}, parallelWorkload, false)
+		par := runEquiv(cfg, 1<<15, []Opt{WithChaos(seed), WithParallelRounds(4)}, parallelWorkload, false)
+		if !reflect.DeepEqual(serial, par) {
+			t.Errorf("seed %d: chaos schedule diverged under WithParallelRounds", seed)
+		}
+	}
+}
+
+// TestParallelRoundsRepeatedRuns: one session, several cold runs — epoch
+// state must reset completely between runs.
+func TestParallelRoundsRepeatedRuns(t *testing.T) {
+	m := hm.MustMachine(hm.MC3(8))
+	s := NewSim(m, WithParallelRounds(4), WithParallel(2))
+	root := parallelWorkload(s)
+	first := s.RunCold(1<<15, root)
+	for i := 0; i < 3; i++ {
+		again := s.RunCold(1<<15, root)
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("run %d diverged from the first cold run:\nfirst %+v\nagain %+v", i+2, first, again)
+		}
+	}
+}
+
+// TestParallelRoundsFailure: a strand panicking inside a speculative phase
+// must surface as the same *RunError the serial engine reports — same core,
+// anchor and label — at the same virtual time.
+func TestParallelRoundsFailure(t *testing.T) {
+	build := func(opts ...Opt) (*Session, func(*Ctx)) {
+		m := hm.MustMachine(hm.HM4(4, 4))
+		s := NewSim(m, opts...)
+		v := s.NewI64(256)
+		root := func(c *Ctx) {
+			c.SpawnCGCSB(1<<10, 8, func(cc *Ctx, idx int) {
+				for i := 0; i < 200; i++ {
+					cc.StoreI(v.Base+Addr(idx<<5+i%32), int64(i))
+				}
+				if idx == 5 {
+					cc.LoadU(Addr(1 << 40)) // out of heap: *AddressError
+				}
+				for i := 0; i < 200; i++ {
+					cc.Tick(1)
+				}
+			})
+		}
+		return s, root
+	}
+
+	s1, r1 := build()
+	_, err1 := s1.TryRunCold(1<<15, r1)
+	s2, r2 := build(WithParallelRounds(4))
+	_, err2 := s2.TryRunCold(1<<15, r2)
+
+	var re1, re2 *RunError
+	if !errors.As(err1, &re1) || !errors.As(err2, &re2) {
+		t.Fatalf("expected *RunError from both runs, got serial=%v parallel=%v", err1, err2)
+	}
+	if re1.Core != re2.Core || re1.Label != re2.Label ||
+		re1.AnchorLevel != re2.AnchorLevel || re1.AnchorIndex != re2.AnchorIndex {
+		t.Errorf("failure reports diverged:\nserial   %+v\nparallel %+v", re1, re2)
+	}
+	if s1.eng.clock != s2.eng.clock {
+		t.Errorf("failure clock diverged: serial %d, parallel %d", s1.eng.clock, s2.eng.clock)
+	}
+	// Accesses flushed up to the failing round must match: speculated chunks
+	// beyond it are discarded uncounted.
+	if a1, a2 := s1.Machine().Accesses, s2.Machine().Accesses; a1 != a2 {
+		t.Errorf("accesses at failure diverged: serial %d, parallel %d", a1, a2)
+	}
+}
+
+// TestParallelRoundsWorkerCaps: workers <= 0 resolves to GOMAXPROCS and a
+// single worker disables the backend (an epoch needs at least two
+// speculators to exist).
+func TestParallelRoundsWorkerCaps(t *testing.T) {
+	m := hm.MustMachine(hm.MC3(8))
+	s := NewSim(m, WithParallelRounds(0))
+	if s.eng.prWorkers < 1 {
+		t.Errorf("workers=0 should resolve to GOMAXPROCS, got %d", s.eng.prWorkers)
+	}
+	serial := runEquiv(hm.MC3(8), 1<<15, nil, parallelWorkload, false)
+	one := runEquiv(hm.MC3(8), 1<<15, []Opt{WithParallelRounds(1)}, parallelWorkload, false)
+	if !reflect.DeepEqual(serial, one) {
+		t.Errorf("workers=1 must run the serial path unchanged")
+	}
+}

@@ -37,10 +37,9 @@ func MOFFT(c *core.Ctx, x core.C128) {
 	k := bitint.Log2(n)
 	n1 := 1 << ((k + 1) / 2)
 	n2 := 1 << (k / 2)
-	s := c.Session()
-	A := s.NewC128(n1 * n1)
-	B := s.NewC128(n1 * n1)
-	scr := s.NewC128(n1 * n1)
+	A := c.NewC128(n1 * n1)
+	B := c.NewC128(n1 * n1)
+	scr := c.NewC128(n1 * n1)
 
 	// Step 3 [CGC]: load X into the n1 x n2 top-left of A.
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {

@@ -61,15 +61,14 @@ type TreeStats struct {
 // tour list, and the rev table (index of each arc's reversal).
 func EulerTour(c *core.Ctx, t Tree) (arcs core.Pairs, tour listrank.List, rev core.I64) {
 	m := t.Arcs.N
-	s := c.Session()
-	arcs = s.NewPairs(m)
+	arcs = c.NewPairs(m)
 	scan.CopyPairs(c, arcs, t.Arcs)
 	spms.Sort(c, arcs) // by (src, dst)
 
 	// rev[i] = position of (dst_i, src_i): sorting the reversed keys yields
 	// the same key multiset in the same order, so the k-th reversed record
 	// corresponds to position k.
-	r := s.NewPairs(m)
+	r := c.NewPairs(m)
 	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			u, v := Unpack(arcs.Key(cc, i))
@@ -77,7 +76,7 @@ func EulerTour(c *core.Ctx, t Tree) (arcs core.Pairs, tour listrank.List, rev co
 		}
 	})
 	spms.Sort(c, r)
-	rev = s.NewI64(m)
+	rev = c.NewI64(m)
 	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			rev.Set(cc, int(r.At(cc, k).Val), int64(k))
@@ -85,7 +84,7 @@ func EulerTour(c *core.Ctx, t Tree) (arcs core.Pairs, tour listrank.List, rev co
 	})
 
 	// first[v] = start of v's out-arc group.
-	first := s.NewI64(t.N)
+	first := c.NewI64(t.N)
 	scan.FillI64(c, first, -1)
 	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -99,7 +98,7 @@ func EulerTour(c *core.Ctx, t Tree) (arcs core.Pairs, tour listrank.List, rev co
 	})
 
 	head := int(first.At(c, t.Root))
-	tour = listrank.List{N: m, Succ: s.NewI64(m), Pred: s.NewI64(m)}
+	tour = listrank.List{N: m, Succ: c.NewI64(m), Pred: c.NewI64(m)}
 	scan.FillI64(c, tour.Pred, -1)
 	c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -133,10 +132,10 @@ func EulerTour(c *core.Ctx, t Tree) (arcs core.Pairs, tour listrank.List, rev co
 func TreeOps(c *core.Ctx, t Tree) TreeStats {
 	s := c.Session()
 	st := TreeStats{
-		Parent:  s.NewI64(t.N),
-		Depth:   s.NewI64(t.N),
-		Pre:     s.NewI64(t.N),
-		Subsize: s.NewI64(t.N),
+		Parent:  c.NewI64(t.N),
+		Depth:   c.NewI64(t.N),
+		Pre:     c.NewI64(t.N),
+		Subsize: c.NewI64(t.N),
 	}
 	if t.N == 1 {
 		s.PokeI(st.Parent, 0, -1)
@@ -147,7 +146,7 @@ func TreeOps(c *core.Ctx, t Tree) TreeStats {
 	m := arcs.N
 
 	// Unit-weight ranking gives tour positions: pos(a) = m-1-rank(a).
-	pos := s.NewI64(m)
+	pos := c.NewI64(m)
 	listrank.MOLR(c, tour, pos)
 	c.PFor(m, 1, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -157,8 +156,8 @@ func TreeOps(c *core.Ctx, t Tree) TreeStats {
 
 	// Down arcs advance into a child; ±1 suffix sums give depth, down-flag
 	// suffix sums give preorder.
-	down := s.NewI64(m)
-	wpm := s.NewI64(m)
+	down := c.NewI64(m)
+	wpm := c.NewI64(m)
 	c.PFor(m, 1, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if pos.At(cc, i) < pos.At(cc, int(rev.At(cc, i))) {
@@ -170,9 +169,9 @@ func TreeOps(c *core.Ctx, t Tree) TreeStats {
 			}
 		}
 	})
-	sufPM := s.NewI64(m)
+	sufPM := c.NewI64(m)
 	listrank.RankWeighted(c, tour, wpm, sufPM)
-	sufDown := s.NewI64(m)
+	sufDown := c.NewI64(m)
 	listrank.RankWeighted(c, tour, down, sufDown)
 	totalDown := int64(t.N - 1)
 
@@ -206,13 +205,12 @@ func TreeOps(c *core.Ctx, t Tree) TreeStats {
 // deduplicates the arc list, and repeats until no arcs remain (<= log n
 // rounds, each O(1) sorts and scans).
 func CC(c *core.Ctx, n int, arcs core.Pairs, comp core.I64) {
-	s := c.Session()
 	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			comp.Set(cc, v, int64(v))
 		}
 	})
-	cur := s.NewPairs(arcs.N)
+	cur := c.NewPairs(arcs.N)
 	scan.CopyPairs(c, cur, arcs)
 	m := arcs.N
 
@@ -221,7 +219,7 @@ func CC(c *core.Ctx, n int, arcs core.Pairs, comp core.I64) {
 		spms.Sort(c, live)
 
 		// Hook to the minimum neighbour (first arc of each src group).
-		parent := s.NewI64(n)
+		parent := c.NewI64(n)
 		c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				parent.Set(cc, v, int64(v))
@@ -243,7 +241,7 @@ func CC(c *core.Ctx, n int, arcs core.Pairs, comp core.I64) {
 		// Pointer-jump the pseudo-forest to its roots (parent[v] <= v, so
 		// the forest is acyclic and log n rounds suffice).
 		for j := 1; j < 2*n; j *= 2 {
-			p2 := s.NewI64(n)
+			p2 := c.NewI64(n)
 			c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 				for v := lo; v < hi; v++ {
 					p2.Set(cc, v, parent.At(cc, int(parent.At(cc, v))))
@@ -260,7 +258,7 @@ func CC(c *core.Ctx, n int, arcs core.Pairs, comp core.I64) {
 		})
 
 		// Relabel arcs, drop self-loops, deduplicate.
-		relab := s.NewPairs(m)
+		relab := c.NewPairs(m)
 		c.PFor(m, 2, func(cc *core.Ctx, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				u, v := Unpack(live.Key(cc, i))
@@ -268,7 +266,7 @@ func CC(c *core.Ctx, n int, arcs core.Pairs, comp core.I64) {
 			}
 		})
 		spms.Sort(c, relab)
-		next := s.NewPairs(m)
+		next := c.NewPairs(m)
 		m = scan.PackPairsIndexed(c, next, relab, func(cc *core.Ctx, i int, p core.Pair) bool {
 			u, v := Unpack(p.Key)
 			if u == v {

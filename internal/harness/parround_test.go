@@ -1,0 +1,137 @@
+package harness
+
+// Parallel-rounds-vs-serial equivalence at the harness level, mirroring
+// parallel_test.go for the phase-split engine backend (DESIGN.md §11): the
+// full golden algo × machine matrix re-run under core.WithParallelRounds —
+// alone and composed with the core.WithParallel replay pipeline — must
+// reproduce the serial metric tuple byte for byte at every worker count,
+// and the 16-seed chaos sweep must reproduce the serial chaos schedules
+// (chaos runs serialize the whole loop, so this pins the documented
+// fallback).  Together with golden_test.go this closes the loop: serial ==
+// goldens, parallel rounds == serial, therefore parallel rounds == goldens.
+//
+// CI runs this file under -race (the workflow's parallel-equivalence step):
+// the speculation phase is the only place the engine runs several strands
+// at the same real instant, so the race detector is the half of the
+// contract the metrics cannot show.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"oblivhm/internal/core"
+)
+
+// measureParRounds is measure() with WithParallelRounds(workers) appended,
+// plus WithParallel(workers) when composed is set.
+func measureParRounds(t *testing.T, machine string, gc goldenCase, workers int, composed bool) goldenMetrics {
+	t.Helper()
+	opts := append(gc.opts(), core.WithParallelRounds(workers))
+	if composed {
+		opts = append(opts, core.WithParallel(workers))
+	}
+	res, err := RunMO(gc.Algo, machine, gc.N, opts...)
+	if err != nil {
+		t.Fatalf("%s on %s (pr workers=%d composed=%v): %v", gc.key(), machine, workers, composed, err)
+	}
+	return metricsTuple(res)
+}
+
+// TestParallelRoundsMatchSerialGoldenMatrix: the full golden suite at every
+// worker count, parallel-rounds alone and composed with the replay
+// pipeline.  In -short mode each case keeps one rotating worker count.
+func TestParallelRoundsMatchSerialGoldenMatrix(t *testing.T) {
+	suite := goldenSuite()
+	var machines []string
+	for m := range suite {
+		machines = append(machines, m)
+	}
+	sort.Strings(machines)
+	for _, machine := range machines {
+		machine := machine
+		cases := suite[machine]
+		t.Run(machine, func(t *testing.T) {
+			t.Parallel()
+			for i, gc := range cases {
+				serial := measure(t, machine, gc)
+				workers := parallelWorkerCounts
+				if testing.Short() {
+					workers = parallelWorkerCounts[i%len(parallelWorkerCounts) : i%len(parallelWorkerCounts)+1]
+				}
+				for _, w := range workers {
+					if pr := measureParRounds(t, machine, gc, w, false); !reflect.DeepEqual(serial, pr) {
+						t.Errorf("%s pr workers=%d diverged from serial:\n  serial          %+v\n  parallel-rounds %+v",
+							gc.key(), w, serial, pr)
+					}
+					if pr := measureParRounds(t, machine, gc, w, true); !reflect.DeepEqual(serial, pr) {
+						t.Errorf("%s pr+par workers=%d diverged from serial:\n  serial   %+v\n  composed %+v",
+							gc.key(), w, serial, pr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRoundsChaosSweepMatchesSerial: for every machine-shape pair
+// and chaos seed, WithParallelRounds must land on the identical perturbed
+// schedule — chaos serializes the loop, and this sweep pins that the
+// option's presence alone changes nothing.  -short keeps a rotating pair
+// of seeds per case.
+func TestParallelRoundsChaosSweepMatchesSerial(t *testing.T) {
+	for i, pc := range parallelChaosPairs {
+		i, pc := i, pc
+		t.Run(pc.machine+"/"+pc.gc.key(), func(t *testing.T) {
+			t.Parallel()
+			seeds := make([]int64, 0, chaosSeeds)
+			for s := 0; s < chaosSeeds; s++ {
+				seeds = append(seeds, int64(s))
+			}
+			if testing.Short() {
+				seeds = []int64{int64(i % chaosSeeds), int64((i + 5) % chaosSeeds)}
+			}
+			for _, seed := range seeds {
+				serialRes, err := RunMO(pc.gc.Algo, pc.machine, pc.gc.N, append(pc.gc.opts(), core.WithChaos(seed))...)
+				if err != nil {
+					t.Fatalf("serial seed %d: %v", seed, err)
+				}
+				serial := metricsTuple(serialRes)
+				for _, w := range parallelWorkerCounts {
+					prRes, err := RunMO(pc.gc.Algo, pc.machine, pc.gc.N,
+						append(pc.gc.opts(), core.WithChaos(seed), core.WithParallelRounds(w))...)
+					if err != nil {
+						t.Fatalf("seed %d pr workers=%d: %v", seed, w, err)
+					}
+					if pr := metricsTuple(prRes); !reflect.DeepEqual(serial, pr) {
+						t.Errorf("seed %d pr workers=%d: chaos schedule diverged:\n  serial          %+v\n  parallel-rounds %+v",
+							seed, w, serial, pr)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRoundsOptionSets: the named pr* option sets resolve and run —
+// a sweep/CLI smoke over one small case per set, pinned against "default".
+func TestParallelRoundsOptionSets(t *testing.T) {
+	base, err := Run(RunConfig{Algo: "sort", Machine: "mc3", N: 1 << 7})
+	if err != nil {
+		t.Fatalf("default: %v", err)
+	}
+	want := metricsTuple(base)
+	for _, name := range []string{"pr2", "pr4", "pr2par2", "pr4par4"} {
+		res, err := Run(RunConfig{Algo: "sort", Machine: "mc3", N: 1 << 7, Options: name})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got := metricsTuple(res); !reflect.DeepEqual(want, got) {
+			t.Errorf("%s diverged from default:\n  default %+v\n  %s %+v", name, want, name, got)
+		}
+	}
+	// pr4steal changes the schedule (stealing on), so only check it runs.
+	if _, err := Run(RunConfig{Algo: "sort", Machine: "mc3", N: 1 << 7, Options: "pr4steal"}); err != nil {
+		t.Fatalf("pr4steal: %v", err)
+	}
+}

@@ -36,6 +36,13 @@ var optionSets = map[string]func() []core.Opt{
 	"q8":      func() []core.Opt { return []core.Opt{core.WithQuantum(8)} },
 	"par2":    func() []core.Opt { return []core.Opt{core.WithParallel(2)} },
 	"par4":    func() []core.Opt { return []core.Opt{core.WithParallel(4)} },
+	"pr2":     func() []core.Opt { return []core.Opt{core.WithParallelRounds(2)} },
+	"pr4":     func() []core.Opt { return []core.Opt{core.WithParallelRounds(4)} },
+	"pr2par2": func() []core.Opt { return []core.Opt{core.WithParallelRounds(2), core.WithParallel(2)} },
+	"pr4par4": func() []core.Opt { return []core.Opt{core.WithParallelRounds(4), core.WithParallel(4)} },
+	"pr4steal": func() []core.Opt {
+		return []core.Opt{core.WithParallelRounds(4), core.WithStealing()}
+	},
 }
 
 // OptionSets lists the valid option-set names, sorted.

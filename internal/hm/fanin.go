@@ -1,0 +1,137 @@
+package hm
+
+// Per-core access fan-in for the parallel-rounds engine backend (DESIGN.md
+// §11).  During a speculative execution phase the engine runs the front
+// strand of several cores on real OS threads at once.  Each strand's memory
+// accesses cannot walk the cache hierarchy directly — the walk mutates
+// shared cache state and its serial order is part of the determinism
+// contract — so in fan-in mode Load/Store touch only the data array (safe:
+// concurrently runnable strands have disjoint footprints, the fork-join
+// race-freedom the chaos sweeps already pin) and append an access record to
+// a buffer owned by the issuing core.  No two strands share a core within a
+// phase, so the buffers need no locks; the phase boundaries (channel
+// handoffs in the engine) provide the happens-before edges.
+//
+// Strands mark round boundaries in their buffer as they cross them.  After
+// the phase, the engine's serial commit walk replays the recorded chunks in
+// (round, core) order — exactly the serial interleaving — by handing each
+// chunk to FlushFanChunk, which either walks the cache hierarchy in-line or
+// bulk-appends the chunk to the parallel replay pipeline (parsim.go) when
+// WithParallel is composed on top.  Either way every cache consumes its
+// serial input sequence in its serial order, so all counters stay
+// byte-identical to the serial engine.
+
+// fanBuf is one core's recording buffer for the current speculative phase.
+type fanBuf struct {
+	recs   []uint64 // addr<<1 | writeBit, in issue order
+	wrecs  []uint64 // writes only, kept when the replay pipeline shards coherence
+	marks  []int    // end offset in recs of each completed round
+	wmarks []int    // end offset in wrecs of each completed round
+}
+
+// roundFanIn is the fan-in state attached to a Machine while a speculative
+// phase (or its commit walk) is in flight.
+type roundFanIn struct {
+	on          bool // intercept Load/Store (speculative phase only)
+	trackWrites bool // parallel replay with coherence shards wants write side-lists
+	bufs        []fanBuf
+}
+
+// StartRoundFanIn switches the machine into fan-in recording: until
+// EndRoundFanIn, Load and Store touch only the data array and append to the
+// issuing core's buffer.  The caller (the engine) guarantees that at most
+// one OS thread issues accesses for any given core during the phase.
+func (m *Machine) StartRoundFanIn() {
+	if m.fan == nil {
+		m.fan = &roundFanIn{bufs: make([]fanBuf, m.Cores())}
+	}
+	f := m.fan
+	f.trackWrites = m.par != nil && m.par.trackWrites
+	for c := range f.bufs {
+		b := &f.bufs[c]
+		b.recs, b.wrecs = b.recs[:0], b.wrecs[:0]
+		b.marks, b.wmarks = b.marks[:0], b.wmarks[:0]
+	}
+	f.on = true
+}
+
+// EndRoundFanIn stops intercepting Load/Store.  The recorded buffers stay
+// available for FlushFanChunk until the next StartRoundFanIn.
+func (m *Machine) EndRoundFanIn() {
+	if m.fan != nil {
+		m.fan.on = false
+	}
+}
+
+// MarkRound records a round boundary in core's buffer: everything appended
+// since the previous mark belongs to the round just completed.
+func (m *Machine) MarkRound(core int) {
+	b := &m.fan.bufs[core]
+	b.marks = append(b.marks, len(b.recs))
+	if m.fan.trackWrites {
+		b.wmarks = append(b.wmarks, len(b.wrecs))
+	}
+}
+
+// fanChunk returns the record slices of core's chunk for the given 0-based
+// round: recs[marks[r-1]:marks[r]], with the region past the last mark (a
+// partial round, cut short by a scheduler interaction) addressed by
+// round == len(marks).
+func (f *roundFanIn) fanChunk(core, round int) (recs, wrecs []uint64) {
+	b := &f.bufs[core]
+	lo, wlo := 0, 0
+	if round > 0 {
+		lo = b.marks[round-1]
+		if f.trackWrites {
+			wlo = b.wmarks[round-1]
+		}
+	}
+	hi, whi := len(b.recs), len(b.wrecs)
+	if round < len(b.marks) {
+		hi = b.marks[round]
+		if f.trackWrites {
+			whi = b.wmarks[round]
+		}
+	}
+	if f.trackWrites {
+		return b.recs[lo:hi], b.wrecs[wlo:whi]
+	}
+	return b.recs[lo:hi], nil
+}
+
+// FlushFanChunk applies core's recorded chunk for the given round to the
+// cache model: in-line through the serial access walk, or as a bulk append
+// to the parallel replay pipeline when one is attached.  Chunks must be
+// flushed in (round, core) lexicographic order — the serial interleaving —
+// which is exactly the order the engine's commit walk visits turns in.
+func (m *Machine) FlushFanChunk(core, round int) {
+	recs, wrecs := m.fan.fanChunk(core, round)
+	if len(recs) == 0 {
+		return
+	}
+	if m.par != nil {
+		// The replay pipeline's own fast path counts at record time
+		// (Load/Store do m.Accesses++ before par.record), so bulk appends
+		// count here; the serial walk counts inside m.access itself.
+		m.Accesses += int64(len(recs))
+		m.par.recordBulk(core, recs, wrecs)
+		return
+	}
+	for _, rec := range recs {
+		m.access(core, Addr(rec>>1), rec&1 != 0)
+	}
+}
+
+// fanRecord is the fan-in fast path shared by Load and Store: data access
+// plus a record append on the issuing core's buffer.
+func (f *roundFanIn) record(core int, a Addr, write bool) {
+	b := &f.bufs[core]
+	rec := uint64(a) << 1
+	if write {
+		rec |= 1
+		if f.trackWrites {
+			b.wrecs = append(b.wrecs, rec)
+		}
+	}
+	b.recs = append(b.recs, rec)
+}

@@ -47,6 +47,13 @@ type Machine struct {
 	// partition of the masks.
 	par *parSim
 
+	// fan, while fan.on, diverts Load/Store into per-core record buffers so
+	// the engine's parallel-rounds backend can run strands of distinct cores
+	// on concurrent OS threads (fanin.go).  Checked before par: recorded
+	// chunks reach par (or the serial walk) later, via FlushFanChunk, in the
+	// serial (round, core) order.
+	fan *roundFanIn
+
 	// Steps is advanced by the engine (virtual time); kept here so stats
 	// snapshots carry both time and traffic.
 	Steps int64
@@ -152,6 +159,14 @@ func (m *Machine) Top() *Cache { return m.ByLevel[len(m.ByLevel)-1][0] }
 // chunking can respect block boundaries.  The shared memory is arbitrarily
 // large in the model; the simulator grows it on demand.
 func (m *Machine) Alloc(n int64) Addr {
+	if m.fan != nil && m.fan.on {
+		// Growing m.mem would race the speculative strands reading it, and
+		// the bump pointer's value would depend on thread interleaving.  The
+		// engine serialises allocation (core.Ctx allocators); a direct
+		// Session-level allocation from inside a concurrently running strand
+		// is a bug at the call site, surfaced deterministically here.
+		panic("hm: Alloc during a parallel execution phase; allocate through the strand's Ctx so the engine can serialise it")
+	}
 	b1 := m.Cfg.Levels[0].Block
 	a := (m.heap + Addr(b1) - 1) / Addr(b1) * Addr(b1)
 	m.heap = a + Addr(n)
@@ -255,7 +270,9 @@ func (m *Machine) Load(core int, a Addr) uint64 {
 	if a < 0 || a >= m.heap {
 		panic(&AddressError{Core: core, Addr: a, Heap: int64(m.heap)})
 	}
-	if m.par != nil {
+	if f := m.fan; f != nil && f.on {
+		f.record(core, a, false)
+	} else if m.par != nil {
 		m.Accesses++
 		m.par.record(core, a, false)
 	} else {
@@ -269,7 +286,9 @@ func (m *Machine) Store(core int, a Addr, v uint64) {
 	if a < 0 || a >= m.heap {
 		panic(&AddressError{Core: core, Addr: a, Write: true, Heap: int64(m.heap)})
 	}
-	if m.par != nil {
+	if f := m.fan; f != nil && f.on {
+		f.record(core, a, true)
+	} else if m.par != nil {
 		m.Accesses++
 		m.par.record(core, a, true)
 	} else {

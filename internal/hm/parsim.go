@@ -226,6 +226,37 @@ func (p *parSim) record(core int, a Addr, write bool) {
 	s.recs = append(s.recs, rec)
 }
 
+// recordBulk appends a whole pre-recorded chunk of accesses by one core (a
+// fan-in round, fanin.go) as fresh segments, splitting at parSegCap.  The
+// chunk's write side-list is precomputed by the fan-in recorder, so the
+// common whole-chunk case moves straight in; only oversized chunks
+// (quantum > parSegCap) pay a scan to apportion the writes.  Execution
+// thread only, like record.
+func (p *parSim) recordBulk(core int, recs, wrecs []uint64) {
+	for len(recs) > 0 {
+		n := len(recs)
+		if n > parSegCap {
+			n = parSegCap
+		}
+		s := p.nextSeg(core)
+		s.recs = append(s.recs, recs[:n]...)
+		if p.trackWrites {
+			if n == len(recs) {
+				s.wrecs = append(s.wrecs, wrecs...)
+				wrecs = nil
+			} else {
+				w := 0
+				for _, rec := range recs[:n] {
+					w += int(rec & 1)
+				}
+				s.wrecs = append(s.wrecs, wrecs[:w]...)
+				wrecs = wrecs[w:]
+			}
+		}
+		recs = recs[n:]
+	}
+}
+
 // nextSeg seals the current segment, flushes the batch if full, and opens a
 // fresh segment for core.
 func (p *parSim) nextSeg(core int) *parSeg {

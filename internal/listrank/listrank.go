@@ -53,8 +53,7 @@ const colorShift = 40
 // MOLR computes rank[v] = distance (number of links) from v to the end of
 // the list, for every node.
 func MOLR(c *core.Ctx, l List, rank core.I64) {
-	s := c.Session()
-	w := s.NewI64(l.N)
+	w := c.NewI64(l.N)
 	c.PFor(l.N, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if l.Succ.At(cc, v) < 0 {
@@ -73,13 +72,12 @@ func molr(c *core.Ctx, l List, w, rank core.I64) {
 		serialRankW(c, l, w, rank)
 		return
 	}
-	s := c.Session()
 
-	inS := s.NewI64(n)
+	inS := c.NewI64(n)
 	MOIS(c, l, inS)
 
 	// Contract: splice out the independent set, accumulating weights.
-	newIdx := s.NewI64(n)
+	newIdx := c.NewI64(n)
 	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			newIdx.Set(cc, v, 1-inS.At(cc, v))
@@ -87,9 +85,9 @@ func molr(c *core.Ctx, l List, w, rank core.I64) {
 	})
 	m := int(scan.ExclusiveSumsI64(c, newIdx))
 
-	sub := List{N: m, Succ: s.NewI64(m), Pred: s.NewI64(m)}
-	subW := s.NewI64(m)
-	oldOf := s.NewI64(m)
+	sub := List{N: m, Succ: c.NewI64(m), Pred: c.NewI64(m)}
+	subW := c.NewI64(m)
+	oldOf := c.NewI64(m)
 	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if inS.At(cc, v) != 0 {
@@ -121,7 +119,7 @@ func molr(c *core.Ctx, l List, w, rank core.I64) {
 		}
 	})
 
-	subRank := s.NewI64(m)
+	subRank := c.NewI64(m)
 	molr(c, sub, subW, subRank)
 
 	// Extend: kept nodes copy their contracted rank; removed nodes add
@@ -151,13 +149,12 @@ func molr(c *core.Ctx, l List, w, rank core.I64) {
 // is selected, so |S| >= n/3.
 func MOIS(c *core.Ctx, l List, inS core.I64) {
 	n := l.N
-	s := c.Session()
 	color := Colors(c, l)
 	ncol := int(scan.ReduceU64(c, core.U64{Base: color.Base, N: n}, scan.MaxU, 0)) + 1
 
 	// Steps 3+5 fused: sorting (color, id) records groups nodes by color
 	// with each group pre-sorted by identifier.
-	rec := s.NewPairs(n)
+	rec := c.NewPairs(n)
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			rec.Set(cc, v, core.Pair{Key: uint64(color.At(cc, v))<<colorShift | uint64(v), Val: uint64(v)})
@@ -166,7 +163,7 @@ func MOIS(c *core.Ctx, l List, inS core.I64) {
 	spms.Sort(c, rec)
 
 	// Segment bounds per color, found by a CGC boundary scan.
-	starts := s.NewI64(ncol + 1)
+	starts := c.NewI64(ncol + 1)
 	scan.FillI64(c, starts, int64(n))
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
 		for k := lo; k < hi; k++ {
@@ -198,7 +195,7 @@ func MOIS(c *core.Ctx, l List, inS core.I64) {
 		glen[j] = bounds[j+1] - bounds[j]
 		off += 3*glen[j] + 4
 	}
-	groups := s.NewPairs(off)
+	groups := c.NewPairs(off)
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			p := rec.At(cc, k)
@@ -217,7 +214,7 @@ func MOIS(c *core.Ctx, l List, inS core.I64) {
 		spms.Sort(c, seg) // duplicates become adjacent (sorted by id)
 		// Step 6 [CGC]: select ids occurring exactly once; push duplicate
 		// records for the neighbours of every selected node.
-		dupSeg := s.NewPairs(2 * seg.N)
+		dupSeg := c.NewPairs(2 * seg.N)
 		c.PFor(seg.N, 2, func(cc *core.Ctx, lo, hi int) {
 			for k := lo; k < hi; k++ {
 				id := seg.Key(cc, k)
@@ -263,8 +260,7 @@ func MOIS(c *core.Ctx, l List, inS core.I64) {
 // successor to compare against; adjacent nodes always get distinct colors.
 func Colors(c *core.Ctx, l List) core.I64 {
 	n := l.N
-	s := c.Session()
-	color := s.NewI64(n)
+	color := c.NewI64(n)
 	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			color.Set(cc, v, int64(v))
@@ -274,7 +270,7 @@ func Colors(c *core.Ctx, l List) core.I64 {
 		return color
 	}
 	head := FindHead(c, l)
-	next := s.NewI64(n)
+	next := c.NewI64(n)
 	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			sv := l.Succ.At(cc, v)
@@ -286,7 +282,7 @@ func Colors(c *core.Ctx, l List) core.I64 {
 	})
 	for r := 0; r < colorRounds; r++ {
 		sc := Gather(c, next, color)
-		nc := s.NewI64(n)
+		nc := c.NewI64(n)
 		c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				cv := uint64(color.At(cc, v))
@@ -314,15 +310,14 @@ func Colors(c *core.Ctx, l List) core.I64 {
 // monotone scan, route replies back by sorting on the requester.
 func Gather(c *core.Ctx, idx, vals core.I64) core.I64 {
 	n := idx.N
-	s := c.Session()
-	req := s.NewPairs(n)
+	req := c.NewPairs(n)
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			req.Set(cc, v, core.Pair{Key: uint64(idx.At(cc, v)), Val: uint64(v)})
 		}
 	})
 	spms.Sort(c, req)
-	rep := s.NewPairs(n)
+	rep := c.NewPairs(n)
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
 		for k := lo; k < hi; k++ {
 			p := req.At(cc, k)
@@ -330,7 +325,7 @@ func Gather(c *core.Ctx, idx, vals core.I64) core.I64 {
 		}
 	})
 	spms.Sort(c, rep)
-	out := s.NewI64(n)
+	out := c.NewI64(n)
 	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			out.Set(cc, v, int64(rep.At(cc, v).Val))
@@ -341,8 +336,7 @@ func Gather(c *core.Ctx, idx, vals core.I64) core.I64 {
 
 // FindHead locates the node with no predecessor via a CGC reduction.
 func FindHead(c *core.Ctx, l List) int {
-	s := c.Session()
-	h := s.NewU64(l.N)
+	h := c.NewU64(l.N)
 	c.PFor(l.N, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			if l.Pred.At(cc, v) < 0 {
@@ -379,9 +373,8 @@ func serialRankW(c *core.Ctx, l List, w, rank core.I64) {
 // full-array jumps.
 func Wyllie(c *core.Ctx, l List, rank core.I64) {
 	n := l.N
-	s := c.Session()
-	w := s.NewI64(n)
-	nxt := s.NewI64(n)
+	w := c.NewI64(n)
+	nxt := c.NewI64(n)
 	c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			sv := l.Succ.At(cc, v)
@@ -394,8 +387,8 @@ func Wyllie(c *core.Ctx, l List, rank core.I64) {
 		}
 	})
 	for stride := 1; stride < 2*n; stride *= 2 {
-		w2 := s.NewI64(n)
-		n2 := s.NewI64(n)
+		w2 := c.NewI64(n)
+		n2 := c.NewI64(n)
 		c.PFor(n, 1, func(cc *core.Ctx, lo, hi int) {
 			for v := lo; v < hi; v++ {
 				sv := nxt.At(cc, v)
@@ -415,8 +408,7 @@ func Wyllie(c *core.Ctx, l List, rank core.I64) {
 
 // SerialRank is the sequential oracle.
 func SerialRank(c *core.Ctx, l List, rank core.I64) {
-	s := c.Session()
-	w := s.NewI64(l.N)
+	w := c.NewI64(l.N)
 	for v := 0; v < l.N; v++ {
 		if l.Succ.At(c, v) < 0 {
 			w.Set(c, v, 0)

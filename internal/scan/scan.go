@@ -33,7 +33,7 @@ func InclusiveU64(c *core.Ctx, v core.U64, scratch core.U64, op Op) {
 		return
 	}
 	if scratch.N < v.N {
-		scratch = c.Session().NewU64(v.N)
+		scratch = c.NewU64(v.N)
 	}
 	inclusive(c, v, scratch, op)
 }
@@ -80,7 +80,7 @@ func ExclusiveU64(c *core.Ctx, v core.U64, scratch core.U64, op Op, identity uin
 	InclusiveU64(c, v, scratch, op)
 	total := v.At(c, v.N-1)
 	// Shift right by one with a CGC loop over a temp copy.
-	tmp := c.Session().NewU64(v.N)
+	tmp := c.NewU64(v.N)
 	CopyU64(c, tmp, v)
 	c.PFor(v.N, 1, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -128,7 +128,7 @@ func ReduceU64(c *core.Ctx, v core.U64, op Op, identity uint64) uint64 {
 		return acc
 	}
 	half := (n + 1) / 2
-	s := c.Session().NewU64(half)
+	s := c.NewU64(half)
 	c.PFor(half, 1, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if 2*i+1 < n {
@@ -195,7 +195,7 @@ func PackPairs(c *core.Ctx, dst, src core.Pairs, pred func(core.Pair) bool) int 
 	if n == 0 {
 		return 0
 	}
-	flags := c.Session().NewI64(n)
+	flags := c.NewI64(n)
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if pred(src.At(cc, i)) {
@@ -228,7 +228,7 @@ func PackPairsIndexed(c *core.Ctx, dst, src core.Pairs, pred func(cc *core.Ctx, 
 	if n == 0 {
 		return 0
 	}
-	flags := c.Session().NewI64(n)
+	flags := c.NewI64(n)
 	c.PFor(n, 2, func(cc *core.Ctx, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			if pred(cc, i, src.At(cc, i)) {

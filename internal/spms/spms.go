@@ -61,8 +61,7 @@ func Sort(c *core.Ctx, v core.Pairs) {
 	})
 
 	// Phase 2 [CGC]: regular sampling — cr evenly spaced records per run.
-	ses := c.Session()
-	samples := ses.NewPairs(s * cr)
+	samples := c.NewPairs(s * cr)
 	c.PFor(s*cr, 2, func(cc *core.Ctx, lo, hi int) {
 		for t := lo; t < hi; t++ {
 			i, j := t/cr, t%cr
@@ -95,7 +94,7 @@ func Sort(c *core.Ctx, v core.Pairs) {
 	// index advances monotonically (runs are sorted), so the counting scan
 	// is sequential — the band-major view needed for the global offsets is
 	// produced by a cache-oblivious transpose.
-	cntR := ses.NewU64(s * nb)
+	cntR := c.NewU64(s * nb)
 	scan.FillU64(c, cntR, 0)
 	c.PFor(s, l, func(cc *core.Ctx, ilo, ihi int) {
 		for i := ilo; i < ihi; i++ {
@@ -111,7 +110,7 @@ func Sort(c *core.Ctx, v core.Pairs) {
 			}
 		}
 	})
-	cntB := ses.NewU64(nb * s)
+	cntB := c.NewU64(nb * s)
 	transpose.RectWords(c, cntR, cntB, s, nb)
 
 	// Prefix sums over the band-major counts give scatter offsets;
@@ -124,11 +123,11 @@ func Sort(c *core.Ctx, v core.Pairs) {
 	bandStart[nb] = n
 
 	// Transpose the offsets back so each run reads its own sequentially.
-	offR := ses.NewU64(s * nb)
+	offR := c.NewU64(s * nb)
 	transpose.RectWords(c, cntB, offR, nb, s)
 
 	// Phase 2 [CGC]: scatter into the band buffer.
-	out := ses.NewPairs(n)
+	out := c.NewPairs(n)
 	c.PFor(s, l, func(cc *core.Ctx, ilo, ihi int) {
 		for i := ilo; i < ihi; i++ {
 			rlo, rhi := i*l, (i+1)*l

@@ -27,7 +27,7 @@ func MOMT(c *core.Ctx, A, AT core.Mat, I core.F64) {
 	mustSquarePow2(A)
 	mustSquarePow2(AT)
 	if I.N < n*n {
-		I = c.Session().NewF64(n * n)
+		I = c.NewF64(n * n)
 	}
 	nn := n * n
 	// Step 1 [CGC]: I[k] = A[β⁻¹(k)] — store A in Morton order.
@@ -55,7 +55,7 @@ func MOMTComplex(c *core.Ctx, a, at core.C128, n int, scratch core.C128) {
 		panic("transpose: complex views too small")
 	}
 	if scratch.N < n*n {
-		scratch = c.Session().NewC128(n * n)
+		scratch = c.NewC128(n * n)
 	}
 	nn := n * n
 	c.PFor(nn, 2, func(cc *core.Ctx, lo, hi int) {
