@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel fuzz soak profile sweep sweep-smoke clean
+.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel failure-sweep fuzz soak profile sweep sweep-smoke clean
 
 all: vet test
 
@@ -90,12 +90,22 @@ race:
 race-parallel:
 	$(GO) test -race -run 'Parallel' ./internal/hm ./internal/core ./internal/harness
 
+# Failure-injection gate: the seeded kill/straggler/cache-fault suite and
+# the 16-seed failure sweep over the golden matrix under the race detector,
+# then the checked-in survivability spec end to end through the hypothesis
+# harness (exit 1 unless SB provably survives one core loss within 2x).
+failure-sweep:
+	$(GO) test -race -run 'Failure|Watchdog|Recovery|Fault|Survivab' ./internal/core ./internal/harness ./internal/hm ./internal/sweep
+	$(GO) run ./cmd/sweep -spec specs/survivability.json -hypothesis -quiet
+
 # Chaos soak: randomized algo × machine × n sweep under seeded fault
 # injection with runtime invariants and the race detector, plus interleaved
-# chaos-off determinism probes.  SOAKTIME=10m for longer runs.
+# chaos-off determinism probes and failure-plan outcome probes (disable the
+# latter with `go run ./cmd/soak -failures=false`).  SOAKTIME=10m for
+# longer runs.
 SOAKTIME ?= 60s
 soak:
-	$(GO) run -race ./cmd/soak -duration=$(SOAKTIME)
+	$(GO) run -race ./cmd/soak -duration=$(SOAKTIME) -failures
 
 # Short native fuzz runs: the SPMS sorter and the prefix scan against
 # their sequential specifications, and the sweep-spec parser against its

@@ -7,7 +7,10 @@
 // tuple (Steps, per-level MaxMisses, PlacedAt, Steals) to repeat exactly,
 // and a slice of iterations exercises the network-oblivious substrate,
 // including shape-violation inputs that must come back as no.ErrUsage
-// errors rather than stack traces.
+// errors rather than stack traces.  A -failures slice (on by default)
+// re-runs random points under random seeded failure plans — core kills,
+// stragglers, cache faults, watchdog armed — and requires the outcome
+// (metrics plus recovery report, or the typed error) to repeat exactly.
 //
 // Run it under the race detector — that is the point:
 //
@@ -90,6 +93,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master seed for the randomized sweep")
 	machines := flag.String("machines", "mc3,hm4,hm5", "comma-separated machine presets to sweep")
 	parallel := flag.Int("parallel", 0, "force this many cache-replay workers on every iteration (0 = mixed sweep incl. par2/par4 sets)")
+	failures := flag.Bool("failures", true, "include failure-injection iterations (seeded core kills, stragglers, cache faults)")
 	verbose := flag.Bool("v", false, "log every iteration")
 	flag.Parse()
 
@@ -133,7 +137,7 @@ func main() {
 		}
 	}
 
-	var iters, chaosRuns, detProbes, noRuns, noBad int
+	var iters, chaosRuns, detProbes, noRuns, noBad, failRuns int
 	start := time.Now()
 	for time.Now().Before(deadline) {
 		iters++
@@ -177,6 +181,47 @@ func main() {
 				fmt.Printf("probe %s/%s/n=%d/%s ok\n", algo, machine, n, ov.name)
 			}
 
+		case *failures && iters%7 == 0:
+			// Failure probe: a random point under a random seeded failure
+			// plan must produce the same outcome when re-run — metrics plus
+			// recovery report, or the same typed error.  The watchdog bounds
+			// the livelock a lossy in-place re-execution could cause, turning
+			// it into a *core.FailureError that must itself repeat.
+			algo := algos[rng.Intn(len(algos))]
+			sizes := moSizes[algo]
+			n := sizes[rng.Intn(len(sizes))]
+			machine := machineList[rng.Intn(len(machineList))]
+			ov := optSets[rng.Intn(len(optSets))]
+			plan := core.FailurePlan{
+				KillCores:     rng.Intn(3),
+				Stragglers:    rng.Intn(3),
+				CacheFaults:   rng.Intn(5),
+				HorizonRounds: 16 << rng.Intn(4),
+			}
+			if plan.Stragglers > 0 {
+				plan.SlowFactor = int64(2 + rng.Intn(3))
+			}
+			fseed := rng.Int63()
+			opts := append(append([]core.Opt(nil), ov.opts...),
+				core.WithFailures(fseed, plan), core.WithWatchdog(1<<20))
+			run := func() (metrics, *core.RecoveryReport, string) {
+				res, err := harness.RunMO(algo, machine, n, opts...)
+				if err != nil {
+					return metrics{}, nil, err.Error()
+				}
+				return metricsOf(res), res.Recovery, ""
+			}
+			m1, r1, e1 := run()
+			m2, r2, e2 := run()
+			if e1 != e2 || !reflect.DeepEqual(m1, m2) || !reflect.DeepEqual(r1, r2) {
+				fail("failure outcome diverged: %s/%s/n=%d/%s fseed=%d plan=%+v\n  run 1: %+v %+v %q\n  run 2: %+v %+v %q",
+					algo, machine, n, ov.name, fseed, plan, m1, r1, e1, m2, r2, e2)
+			}
+			failRuns++
+			if *verbose {
+				fmt.Printf("failure %s/%s/n=%d/%s fseed=%d ok\n", algo, machine, n, ov.name, fseed)
+			}
+
 		default:
 			// Chaos run: random point, random chaos seed, invariants on.
 			algo := algos[rng.Intn(len(algos))]
@@ -195,8 +240,8 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("soak ok: %d iterations in %v (%d chaos runs, %d determinism probes, %d NO runs, %d NO usage errors)\n",
-		iters, time.Since(start).Round(time.Millisecond), chaosRuns, detProbes, noRuns, noBad)
+	fmt.Printf("soak ok: %d iterations in %v (%d chaos runs, %d determinism probes, %d failure probes, %d NO runs, %d NO usage errors)\n",
+		iters, time.Since(start).Round(time.Millisecond), chaosRuns, detProbes, failRuns, noRuns, noBad)
 }
 
 func fail(format string, args ...any) {

@@ -15,6 +15,12 @@
 // over the full row set (resumed rows included) after the sweep finishes;
 // any failing hypothesis makes the process exit 1, so a sweep run is a
 // CI-gateable experiment.
+//
+// Grids can put failure-injection option sets (failstop1, straggler2x,
+// faulty) on the options axis; rows then carry degraded-mode columns
+// (deadCores, migrated, reexec, reexecFrac) and a "survivability"
+// hypothesis can bound the degraded/healthy metric ratio — see
+// specs/survivability.json.
 package main
 
 import (

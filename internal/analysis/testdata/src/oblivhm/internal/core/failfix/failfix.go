@@ -1,0 +1,60 @@
+// Package failfix pins the determinism analyzer against the failure-
+// injection layer's temptations: real fault-tolerant runtimes detect
+// failures with wall-clock heartbeats and background watchdog goroutines,
+// but the engine's frozen contract extends to failure schedules — same
+// config + seed must give a byte-identical kill/straggler/fault schedule
+// and byte-identical recovery actions.  This fixture proves the analyzer
+// still rejects failure hooks built on the wall clock or on unsanctioned
+// goroutines, so recovery stays a function of the virtual round counter.
+package failfix
+
+import "time"
+
+// failEvent is a stub of the engine's scheduled failure event.
+type failEvent struct {
+	round int64
+	core  int
+}
+
+// injector is a stub of the engine-side failure injector.
+type injector struct {
+	events []failEvent
+	round  int64
+	dead   uint64
+}
+
+// FireScheduled is the sanctioned shape: failures fire off the virtual
+// round counter, derived from the plan seed — no clock, no goroutine.
+func (f *injector) FireScheduled() {
+	f.round++
+	for _, ev := range f.events {
+		if ev.round <= f.round {
+			f.dead |= 1 << uint(ev.core)
+		}
+	}
+}
+
+// HeartbeatDetect is the regression the wall-clock rule exists for: a
+// failure detector keyed on real time would make the failure schedule (and
+// so the recovery actions) differ between runs.
+func (f *injector) HeartbeatDetect(last time.Time) bool {
+	return time.Since(last) > time.Second // want `time.Since reads the wall clock`
+}
+
+// DeadlineKill reads the wall clock to decide when a core dies.
+func (f *injector) DeadlineKill(c int) {
+	if time.Now().Unix()%2 == 0 { // want `time.Now reads the wall clock`
+		f.dead |= 1 << uint(c)
+	}
+}
+
+// WatchdogGoroutine is the other regression: a background monitor thread
+// observing the engine from outside the round structure.  Detection must
+// happen at round boundaries on the engine goroutine, not on a racing
+// watcher.
+func (f *injector) WatchdogGoroutine(trip func()) {
+	go func() { // want `go statement outside the sanctioned`
+		time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+		trip()
+	}()
+}

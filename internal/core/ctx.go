@@ -134,7 +134,8 @@ func (c *Ctx) PFor(n, elemWords int, body func(cc *Ctx, lo, hi int)) {
 		st := e.newStrand(target, e.m.CacheOf(target, 1), jn, func(cc *Ctx) {
 			body(cc, clo2, chi2)
 		}, "cgc-chunk")
-		e.emit(EvChunk, target, 1, target, int64(chi2-clo2)*int64(elemWords))
+		e.markRecov(st, c.st.recov)
+		e.emit(EvChunk, st.core, 1, target, int64(chi2-clo2)*int64(elemWords))
 		e.enqueue(st)
 	}
 	if myChunk >= 0 {
@@ -234,7 +235,7 @@ func (c *Ctx) SpawnSB(tasks ...Task) {
 		if lbl == "" {
 			lbl = "sb"
 		}
-		p := pending{space: t.Space, fn: t.Fn, jn: jn, label: lbl}
+		p := pending{space: t.Space, fn: t.Fn, jn: jn, label: lbl, recov: c.st.recov}
 		if e.flat {
 			// Ablation: ignore every level above 1 — spread over L1s.
 			slot := e.leastLoadedSlot(lam, 1)
@@ -254,7 +255,8 @@ func (c *Ctx) SpawnSB(tasks ...Task) {
 			// additional space) to keep the discipline deadlock-free.
 			core := e.leastLoadedCore(lam)
 			st := e.newStrand(core, lam, jn, t.Fn, lbl)
-			e.emit(EvNested, core, lam.Level, lam.Index, t.Space)
+			e.markRecov(st, c.st.recov)
+			e.emit(EvNested, st.core, lam.Level, lam.Index, t.Space)
 			e.enqueue(st)
 		}
 	}
@@ -328,7 +330,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 			jn.pending++
 			id := idx
 			slot := e.leastLoadedSlot(lam, i)
-			e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb"})
+			e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb", recov: c.st.recov})
 		}
 		c.waitJoin(jn)
 		return
@@ -343,7 +345,8 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 			id := idx
 			core := lam.CoreLo + idx%(lam.CoreHi-lam.CoreLo)
 			st := e.newStrand(core, lam, jn, func(cc *Ctx) { task(cc, id) }, "cgc-sb")
-			e.emit(EvNested, core, lam.Level, lam.Index, space)
+			e.markRecov(st, c.st.recov)
+			e.emit(EvNested, st.core, lam.Level, lam.Index, space)
 			e.enqueue(st)
 		}
 		c.waitJoin(jn)
@@ -357,7 +360,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		jn.pending++
 		id := idx
 		slot := e.slotOf(targets[idx*d/m])
-		e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb"})
+		e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb", recov: c.st.recov})
 	}
 	c.waitJoin(jn)
 }
@@ -397,7 +400,12 @@ func (c *Ctx) waitJoin(jn *join) {
 	c.serialize()
 	if jn.pending > 0 {
 		jn.waiter = c.st
+		// Record the join for failure recovery: a kill of this strand while
+		// parked must orphan the join (killStrand), or its last child's
+		// completion would resurrect the dead strand.
+		c.st.waitingOn = jn
 		c.st.park()
+		c.st.waitingOn = nil
 	}
 	if c.st.spec {
 		// Resumed into a speculative phase (the strand was re-enqueued when

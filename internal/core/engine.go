@@ -90,6 +90,25 @@ type strand struct {
 	specRound int
 	rep       yieldMsg
 	putJn     *join
+
+	// Failure-recovery state (failures.go).  recov tags a strand whose work
+	// is re-execution after a core death (replacements and their re-forked
+	// descendants), feeding the re-executed work fraction; waitingOn is the
+	// join the strand is parked on, so killStrand can orphan it; inline is
+	// the stack of inline-spawn frames open on the strand's goroutine stack,
+	// so a kill-panic's skipped epilogues can be rolled back.  All three are
+	// only maintained while failures are enabled.
+	recov     bool
+	waitingOn *join
+	inline    []inlineFrame
+}
+
+// inlineFrame records the engine accounting of one open inline spawn
+// (inlineSB / inlineAnchored): each frame holds a live/load increment, and
+// anchored frames additionally a space reservation at slot.
+type inlineFrame struct {
+	slot  *cacheSlot
+	space int64
 }
 
 // join is a fork-join counter: pending children plus the parked parent.
@@ -116,6 +135,7 @@ type pending struct {
 	fn    func(*Ctx)
 	jn    *join
 	label string
+	recov bool // spawned by a recovery-tagged strand (failures.go)
 }
 
 // deque is a per-core run queue: strands leave at the front, join at the
@@ -227,6 +247,14 @@ type engine struct {
 	prReport    chan *strand
 	prAbort     atomic.Bool
 	specs       []*strand // epoch scratch
+
+	// Failure injection (failures.go).  fail is the seeded failure domain
+	// (nil unless WithFailures); watchdog is the round budget from
+	// WithWatchdog (0 = off) and wdClock its clock equivalent, computed at
+	// run start.
+	fail     *failInj
+	watchdog int64
+	wdClock  int64
 }
 
 func newEngine(s *Session, m *hm.Machine) *engine {
@@ -265,6 +293,12 @@ func (e *engine) putJoin(jn *join) {
 // newStrand creates (but does not start) a strand pinned to core, reusing a
 // pooled strand (object, channels, goroutine) when one is free.
 func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx), label string) *strand {
+	// Dead cores never receive new work: any placement that lands on one is
+	// redirected to the least-loaded survivor under the same anchor.  The
+	// anchor (and any reservation) stays put, exactly as under stealing.
+	if f := e.fail; f != nil && f.dead&(1<<uint(core)) != 0 {
+		core = e.redirectCore(anchor)
+	}
 	var st *strand
 	if n := len(e.pool); n > 0 {
 		st = e.pool[n-1]
@@ -275,6 +309,8 @@ func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx), 
 		st.started, st.done = false, false
 		st.budget, st.rounds, st.grant = 0, 0, 0
 		st.spec, st.specRound, st.putJn = false, 0, nil
+		st.recov, st.waitingOn = false, nil
+		st.inline = st.inline[:0]
 		st.ctx.core, st.ctx.anchor = core, anchor
 	} else {
 		// Cap-1 channels: the protocol is strict ping-pong (at most one
@@ -368,6 +404,13 @@ func (e *engine) run(space int64, root func(*Ctx)) error {
 	if e.chaos != nil {
 		e.chaos.deferred = e.chaos.deferred[:0]
 	}
+	if e.fail != nil {
+		if err := e.fail.plan.validate(); err != nil {
+			return err
+		}
+		e.fail.derive(e.m.Cores(), e.m)
+	}
+	e.wdClock = e.watchdog * e.quantum
 	if e.verify {
 		e.initInvariants()
 	}
@@ -407,10 +450,11 @@ func (e *engine) drain() {
 func (e *engine) loop() error {
 	scanAll := e.steal || e.reference
 	// Parallel rounds are eligible only when nothing observes scheduling at
-	// sub-round granularity: chaos draws, invariant checks and the reference
-	// schedule are inherently serial, so those runs stay on the serial path
+	// sub-round granularity: chaos draws, invariant checks, the reference
+	// schedule and failure recovery (which mutates scheduler state between
+	// rounds) are inherently serial, so those runs stay on the serial path
 	// (and are byte-identical by construction).
-	parOK := e.prWorkers >= 2 && e.chaos == nil && !e.verify && !e.reference
+	parOK := e.prWorkers >= 2 && e.chaos == nil && !e.verify && !e.reference && e.fail == nil
 	for e.live > 0 || e.qd > 0 {
 		// Chaos: admissions deferred at the previous round boundary fire
 		// before the scan, so deferral perturbs timing without ever costing
@@ -422,12 +466,22 @@ func (e *engine) loop() error {
 				e.admitNow(slot)
 			}
 		}
+		// Failure events fire at round boundaries, before the scan: no strand
+		// is mid-grant, so every live strand is in a queue or parked and the
+		// recovery protocol sees a consistent scheduler state.
+		recovered := false
+		if e.fail != nil {
+			recovered = e.fireFailures()
+		}
 		if parOK && e.nspec == 0 && bits.OnesCount64(e.active) >= 2 {
 			e.speculate()
 		}
 		progressed := false
 		if scanAll {
 			for c := range e.runq {
+				if e.fail != nil && e.fail.dead&(1<<uint(c)) != 0 {
+					continue
+				}
 				if e.runCore(c) {
 					progressed = true
 				}
@@ -453,7 +507,20 @@ func (e *engine) loop() error {
 		if e.failErr != nil {
 			return e.failErr
 		}
-		if !progressed && (e.chaos == nil || len(e.chaos.deferred) == 0) {
+		if e.watchdog > 0 && e.clock >= e.wdClock && (e.live > 0 || e.qd > 0) {
+			fr := e.forensics()
+			fe := &FailureError{
+				Kind:      "watchdog",
+				Clock:     e.clock,
+				Detail:    "round budget exhausted with work still live",
+				Forensics: &fr,
+			}
+			if e.fail != nil {
+				fe.Recovery = e.fail.report(e)
+			}
+			return fe
+		}
+		if !progressed && !recovered && (e.chaos == nil || len(e.chaos.deferred) == 0) {
 			return &DeadlockError{Report: e.forensics()}
 		}
 		if e.verify {
@@ -514,6 +581,9 @@ func (e *engine) runCore(c int) bool {
 	if e.chaos != nil {
 		budget = e.chaos.budget(e.quantum)
 	}
+	if e.fail != nil {
+		budget = e.fail.coreBudget(c, budget)
+	}
 	return e.runCoreRest(c, budget)
 }
 
@@ -540,8 +610,24 @@ func (e *engine) runCoreRest(c int, budget int64) bool {
 // extended with batchRounds whole rounds (see the package comment).
 func (e *engine) runStrand(st *strand, budget int64) int64 {
 	st.grant = 0
-	if e.nrun == 0 && !e.reference && (e.chaos == nil || !e.chaos.coin(2)) {
+	// Failures disable batching entirely: a locally committed batch would
+	// skip the round boundaries failure events fire at.  A no-op plan is
+	// still observably equivalent — batching never changes the schedule.
+	if e.nrun == 0 && !e.reference && e.fail == nil && (e.chaos == nil || !e.chaos.coin(2)) {
 		st.grant = batchRounds
+		if e.watchdog > 0 {
+			// Cap the batch at the watchdog horizon so a livelocked solo
+			// strand returns control to the loop in time to be killed.
+			// Observably equivalent: truncation is exactly what an enqueue
+			// would do, and runs finishing under budget never hit the cap.
+			rem := (e.wdClock-e.clock)/e.quantum + 1
+			if rem < 1 {
+				rem = 1
+			}
+			if st.grant > rem {
+				st.grant = rem
+			}
+		}
 	}
 	e.batchAbort = false
 	if !st.started {
@@ -553,7 +639,15 @@ func (e *engine) runStrand(st *strand, budget int64) int64 {
 		}
 	}
 	st.resume <- budget
-	return e.handleYield(st, <-st.yield)
+	leftover := e.handleYield(st, <-st.yield)
+	if f := e.fail; f != nil {
+		used := budget - leftover
+		f.rep.TotalOps += used
+		if st.recov {
+			f.rep.ReexecOps += used
+		}
+	}
+	return leftover
 }
 
 // handleYield applies one strand yield to the scheduler state, returning the
@@ -664,7 +758,8 @@ func (e *engine) startAnchored(slot *cacheSlot, p pending) {
 	st := e.newStrand(core, slot.cache, p.jn, p.fn, p.label)
 	st.reserved = slot
 	st.resSpace = p.space
-	e.emit(EvAnchor, core, slot.cache.Level, slot.cache.Index, p.space)
+	e.markRecov(st, p.recov)
+	e.emit(EvAnchor, st.core, slot.cache.Level, slot.cache.Index, p.space)
 	e.enqueue(st)
 }
 
@@ -697,8 +792,18 @@ func (e *engine) startsNow(slot *cacheSlot, space int64) bool {
 // schedule byte for byte.  Chaos breaks the tie randomly instead — still
 // among the least-loaded cores, so the placement rule itself is preserved.
 func (e *engine) leastLoadedCore(c *hm.Cache) int {
+	// Dead cores are excluded from the scan.  When the whole shadow is dead
+	// the scan falls back to CoreLo and newStrand's redirect walks up the
+	// hierarchy to a survivor.
+	var dead uint64
+	if e.fail != nil {
+		dead = e.fail.dead
+	}
 	best, bestLoad := c.CoreLo, int(^uint(0)>>1)
 	for i := c.CoreLo; i < c.CoreHi; i++ {
+		if dead&(1<<uint(i)) != 0 {
+			continue
+		}
 		if e.load[i] < bestLoad {
 			best, bestLoad = i, e.load[i]
 		}
@@ -706,6 +811,9 @@ func (e *engine) leastLoadedCore(c *hm.Cache) int {
 	if e.chaos != nil {
 		cands := e.chaos.scratch[:0]
 		for i := c.CoreLo; i < c.CoreHi; i++ {
+			if dead&(1<<uint(i)) != 0 {
+				continue
+			}
 			if e.load[i] == bestLoad {
 				cands = append(cands, i)
 			}
@@ -784,9 +892,14 @@ func (st *strand) main() {
 	}
 }
 
-// recv blocks for the next grant and adopts its batch extension.
+// recv blocks for the next grant and adopts its batch extension.  The
+// poison grant (killStrand) unwinds the goroutine instead: the panic
+// surfaces through the pooled worker loop's recover as a yDone.
 func (st *strand) recv() {
 	st.budget = <-st.resume
+	if st.budget == poisonBudget {
+		panic(killedStrand{})
+	}
 	st.rounds = st.grant
 }
 
@@ -884,11 +997,17 @@ func (c *Ctx) inlineSB(t Task) bool {
 	c.serialize() // the charge can suspend; a speculative wake must not touch e.live
 	e.live++
 	e.load[c.core]++
+	if e.fail != nil {
+		c.st.inline = append(c.st.inline, inlineFrame{})
+	}
 	e.emit(EvNested, c.core, lam.Level, lam.Index, t.Space)
 	t.Fn(c) // child anchor and core equal the parent's
 	// A speculator picked mid-inline-task reaches this epilogue without any
 	// fork hook in between; the accounting below is engine state.
 	c.serialize()
+	if e.fail != nil {
+		c.st.inline = c.st.inline[:len(c.st.inline)-1]
+	}
 	e.emit(EvDone, c.core, 0, 0, 0)
 	e.live--
 	e.load[c.core]--
@@ -910,10 +1029,16 @@ func (c *Ctx) inlineAnchored(slot *cacheSlot, t Task) bool {
 	slot.placed++
 	e.live++
 	e.load[c.core]++
+	if e.fail != nil {
+		c.st.inline = append(c.st.inline, inlineFrame{slot: slot, space: t.Space})
+	}
 	e.emit(EvAnchor, c.core, slot.cache.Level, slot.cache.Index, t.Space)
 	cc := &Ctx{s: c.s, core: c.core, anchor: slot.cache, st: c.st}
 	t.Fn(cc)
 	c.serialize() // mid-inline-task speculator: epilogue is engine state
+	if e.fail != nil {
+		c.st.inline = c.st.inline[:len(c.st.inline)-1]
+	}
 	e.emit(EvDone, c.core, 0, 0, 0)
 	e.live--
 	e.load[c.core]--

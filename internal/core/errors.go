@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 )
@@ -151,13 +152,49 @@ type DeadlockError struct {
 
 func (e *DeadlockError) Error() string { return strings.TrimRight(e.Report.String(), "\n") }
 
+// ---- failure injection ----
+
+// ErrWatchdog is the sentinel a watchdog-tripped *FailureError matches via
+// errors.Is, so callers can branch on "the run livelocked" without
+// inspecting the structured fields.
+var ErrWatchdog = errors.New("core: watchdog round budget exhausted")
+
+// FailureError reports a failure-layer error: a watchdog trip (kind
+// "watchdog" — the run was still live past the WithWatchdog round budget,
+// a livelock turned into a typed error instead of a hang) or an invalid
+// failure plan (kind "plan", rejected before the run starts).  Watchdog
+// errors carry the scheduler forensics of the final round and, when failure
+// injection was active, the recovery report accumulated so far.
+type FailureError struct {
+	Kind      string // "watchdog" | "plan"
+	Clock     int64
+	Detail    string
+	Recovery  *RecoveryReport // nil unless WithFailures was active
+	Forensics *DeadlockReport // nil for plan errors
+}
+
+func (e *FailureError) Error() string {
+	switch e.Kind {
+	case "watchdog":
+		return fmt.Sprintf("core: watchdog tripped at clock %d: %s", e.Clock, e.Detail)
+	case "plan":
+		return fmt.Sprintf("core: invalid failure plan: %s", e.Detail)
+	}
+	return fmt.Sprintf("core: failure (%s): %s", e.Kind, e.Detail)
+}
+
+// Is matches watchdog-kind failures against the ErrWatchdog sentinel.
+func (e *FailureError) Is(target error) bool {
+	return target == ErrWatchdog && e.Kind == "watchdog"
+}
+
 // IsRunFailure reports whether err is one of the engine's typed run
-// failures (RunError, DeadlockError, InvariantError).  The harness uses it
-// to decide which recovered panics become returned errors rather than
-// crashes.
+// failures (RunError, DeadlockError, InvariantError, FailureError).  The
+// harness uses it to decide which recovered panics become returned errors
+// rather than crashes.
 func IsRunFailure(err error) bool {
 	switch err.(type) {
-	case *RunError, *DeadlockError, *InvariantError:
+	case *RunError, *DeadlockError, *InvariantError, *FailureError:
 		return true
 	}
 	return false

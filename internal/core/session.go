@@ -126,6 +126,12 @@ func (s *Session) AllocWords(n int64) Addr {
 type RunStats struct {
 	Steps int64       // virtual parallel steps (simulated sessions only)
 	Sim   hm.Snapshot // machine counters at the end of the run (simulated only)
+
+	// Recovery is the degraded-mode report of a failure-injected run
+	// (WithFailures): dead cores, migrated and re-executed strands, the
+	// re-executed work fraction and post-failure miss deltas.  nil when
+	// failure injection is off.
+	Recovery *RecoveryReport
 }
 
 // Run executes root to completion.  space is the space bound of the root
@@ -161,7 +167,11 @@ func (s *Session) TryRun(space int64, root func(*Ctx)) (RunStats, error) {
 		return RunStats{}, err
 	}
 	s.mach.Steps = s.eng.clock
-	return RunStats{Steps: s.eng.clock, Sim: s.mach.Stats()}, nil
+	st := RunStats{Steps: s.eng.clock, Sim: s.mach.Stats()}
+	if s.eng.fail != nil {
+		st.Recovery = s.eng.fail.report(s.eng)
+	}
+	return st, nil
 }
 
 // nativeRun executes root on the calling goroutine, recovering panics from

@@ -24,6 +24,12 @@ const (
 	EvQueue  EventKind = "queue"  // task enqueued in Q(λ) awaiting space
 	EvSteal  EventKind = "steal"  // strand migrated by the stealing extension
 	EvDone   EventKind = "done"   // strand completed
+
+	// Failure-injection events (failures.go).
+	EvCoreFail EventKind = "corefail" // fail-stop core death
+	EvFault    EventKind = "fault"    // transient cache fault (level/cache, space = blocks dropped)
+	EvMigrate  EventKind = "migrate"  // unstarted strand moved off a dead core
+	EvReexec   EventKind = "reexec"   // killed in-flight strand re-executed on a survivor
 )
 
 // TraceEvent is one scheduling decision.

@@ -67,6 +67,12 @@ type MOResult struct {
 	// byte across engine rewrites.
 	PlacedAt []int
 	Steals   int64
+
+	// Recovery is the degraded-mode report of a failure-injected run
+	// (failstop1/straggler2x/faulty option sets); nil when failure injection
+	// is off.  Part of the frozen contract: the golden failure matrix pins
+	// it byte for byte.
+	Recovery *core.RecoveryReport
 }
 
 func (r MOResult) String() string {
@@ -106,7 +112,7 @@ func RunMOOnConfig(algo string, cfg hm.Config, n int, opts ...core.Opt) (MOResul
 	if err != nil {
 		return MOResult{}, err
 	}
-	res := MOResult{Algo: algo, Machine: cfg.Name, N: n, Steps: st.Steps, Work: st.Sim.Accesses, Steals: s.Steals()}
+	res := MOResult{Algo: algo, Machine: cfg.Name, N: n, Steps: st.Steps, Work: st.Sim.Accesses, Steals: s.Steals(), Recovery: st.Recovery}
 	for lv := 1; lv <= len(cfg.Levels); lv++ {
 		res.PlacedAt = append(res.PlacedAt, s.PlacedAt(lv))
 	}

@@ -43,6 +43,29 @@ var optionSets = map[string]func() []core.Opt{
 	"pr4steal": func() []core.Opt {
 		return []core.Opt{core.WithParallelRounds(4), core.WithStealing()}
 	},
+
+	// Failure-injection sets (PR 8).  Each carries a watchdog so a workload
+	// whose restartability assumption breaks down livelocks into a typed
+	// *core.FailureError rather than a hang; the failure seed is part of the
+	// name's frozen schedule (the per-run chaos Seed stays independent).
+	"failstop1": func() []core.Opt {
+		return []core.Opt{
+			core.WithFailures(1, core.FailurePlan{KillCores: 1}),
+			core.WithWatchdog(1 << 20),
+		}
+	},
+	"straggler2x": func() []core.Opt {
+		return []core.Opt{
+			core.WithFailures(2, core.FailurePlan{Stragglers: 2, SlowFactor: 2}),
+			core.WithWatchdog(1 << 20),
+		}
+	},
+	"faulty": func() []core.Opt {
+		return []core.Opt{
+			core.WithFailures(3, core.FailurePlan{KillCores: 1, Stragglers: 1, SlowFactor: 2, CacheFaults: 4}),
+			core.WithWatchdog(1 << 20),
+		}
+	},
 }
 
 // OptionSets lists the valid option-set names, sorted.

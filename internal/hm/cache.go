@@ -174,6 +174,11 @@ func (c *Cache) Contains(b int64) bool {
 // Resident returns the number of blocks currently held (always <= Cap).
 func (c *Cache) Resident() int64 { return c.resident }
 
+// Parent returns the next cache up on this cache's path to memory, or nil at
+// the topmost level.  The failure-recovery layer (core.WithFailures) walks
+// this chain to find a surviving core when a whole cache shadow is dead.
+func (c *Cache) Parent() *Cache { return c.parent }
+
 // touch moves an already-resident slot to its set's MRU position.
 func (c *Cache) touch(set int64, s int32) {
 	if c.stamp != nil {

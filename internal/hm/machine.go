@@ -59,6 +59,11 @@ type Machine struct {
 	Steps int64
 
 	Accesses int64 // total loads+stores issued
+
+	// Faults counts transient cache faults injected by InjectCacheFault
+	// (core.WithFailures).  Not reset by ResetStats: a fault is a machine
+	// event, not run traffic.
+	Faults int64
 }
 
 // NewMachine validates cfg and builds the cache tree.
@@ -327,6 +332,30 @@ func (m *Machine) ResetStats() {
 	}
 	m.Steps = 0
 	m.Accesses = 0
+}
+
+// InjectCacheFault models a transient fault at the level-level cache with
+// the given index: every resident block is dropped on the floor (contents
+// are lost, the next access to each block is a compulsory miss again) while
+// the cache's traffic counters survive, so miss monotonicity — part of the
+// engine's runtime invariants — holds across the fault.  Memory stays
+// authoritative in the HM model (caches are inclusive of nothing below and
+// write back on eviction in the counters only; m.mem always holds the
+// current value), so a fault can never lose data — only locality.  Returns
+// the number of blocks dropped.
+//
+// Stale holder-mask bits for the faulted cache are left in place
+// deliberately: a later off-path invalidation of a non-resident block is a
+// counted-nowhere no-op (Cache.invalidate checks residency first), and the
+// shard-local masks of the parallel replay pipeline tolerate staleness the
+// same way, so serial and parallel replay stay byte-identical across faults.
+func (m *Machine) InjectCacheFault(level, index int) int64 {
+	m.SyncReplay()
+	c := m.ByLevel[level-1][index]
+	dropped := c.Resident()
+	c.Flush()
+	m.Faults++
+	return dropped
 }
 
 // FlushCaches empties every cache (cold restart) and resets stats.

@@ -17,6 +17,7 @@ type Verdict struct {
 	Pass       bool     `json:"pass"`
 	CrossoverN int      `json:"crossover_n,omitempty"` // crossover: smallest n from which subject wins
 	Spread     float64  `json:"spread,omitempty"`      // stability: worst relative spread observed
+	WorstRatio float64  `json:"worst_ratio,omitempty"` // survivability: worst subject/baseline ratio observed
 	Detail     string   `json:"detail"`
 	Rows       []string `json:"rows,omitempty"` // supporting row keys, sorted
 }
@@ -42,6 +43,8 @@ func Evaluate(spec *Spec, rows []Row) []Verdict {
 			verdicts = append(verdicts, evalCrossover(spec, h, rows))
 		case "stability":
 			verdicts = append(verdicts, evalStability(spec, h, rows))
+		case "survivability":
+			verdicts = append(verdicts, evalSurvivability(spec, h, rows))
 		default:
 			verdicts = append(verdicts, Verdict{
 				Name: h.Name, Kind: h.Kind,
@@ -153,6 +156,87 @@ func evalCrossover(spec *Spec, h Hypothesis, rows []Row) Verdict {
 		v.CrossoverN = crossover
 		v.Detail = fmt.Sprintf("%s — subject sustains ratio >= %.2f from n=%d", desc, h.MinRatio, crossover)
 	}
+	return v
+}
+
+// evalSurvivability checks graceful degradation: at every size with both a
+// failure-injected subject and a healthy baseline row, the subject/baseline
+// metric ratio must stay <= MaxRatio, and (when MinDead > 0) every subject
+// row must report at least MinDead dead cores — the second clause rejects a
+// vacuous pass where the failure schedule never fired within the run.
+func evalSurvivability(spec *Spec, h Hypothesis, rows []Row) Verdict {
+	v := Verdict{Name: h.Name, Kind: h.Kind}
+	m, err := parseMetric(h.Metric)
+	if err != nil {
+		v.Detail = err.Error()
+		return v
+	}
+	subj, subjKeys, err := seriesOver(h.Subject, m, rows)
+	if err != nil {
+		v.Detail = fmt.Sprintf("subject %s: %v", h.Subject, err)
+		return v
+	}
+	base, baseKeys, err := seriesOver(h.Baseline, m, rows)
+	if err != nil {
+		v.Detail = fmt.Sprintf("baseline %s: %v", h.Baseline, err)
+		return v
+	}
+	var sizes []int
+	for _, n := range spec.Sizes {
+		_, inS := subj[n]
+		_, inB := base[n]
+		if inS && inB {
+			sizes = append(sizes, n)
+		}
+	}
+	if len(sizes) == 0 {
+		v.Detail = fmt.Sprintf("no sizes with both subject (%s) and baseline (%s) rows", h.Subject, h.Baseline)
+		return v
+	}
+	sort.Ints(sizes)
+	v.Rows = append(subjKeys, baseKeys...)
+	sort.Strings(v.Rows)
+
+	worst, worstN := 0.0, 0
+	var parts []string
+	for _, n := range sizes {
+		b := base[n]
+		if b <= 0 {
+			b = 1 // count metrics: a zero-cost baseline still bounds the ratio
+		}
+		r := subj[n] / b
+		parts = append(parts, fmt.Sprintf("n=%d %.2f", n, r))
+		if r > worst {
+			worst, worstN = r, n
+		}
+	}
+	v.WorstRatio = worst
+	desc := fmt.Sprintf("%s subject/baseline on %s: %s", h.Metric, h.Subject, strings.Join(parts, ", "))
+
+	if h.MinDead > 0 {
+		checked := 0
+		for _, r := range rows {
+			if !h.Subject.matches(r.Config) {
+				continue
+			}
+			checked++
+			if r.DeadCores < h.MinDead {
+				v.Detail = fmt.Sprintf("%s — subject row %s lost %d core(s), need >= %d: the failure plan never fired",
+					desc, r.Key(), r.DeadCores, h.MinDead)
+				return v
+			}
+		}
+		if checked == 0 {
+			v.Detail = fmt.Sprintf("subject %s matched no rows", h.Subject)
+			return v
+		}
+	}
+	if worst > h.MaxRatio {
+		v.Detail = fmt.Sprintf("%s — degradation %.2f at n=%d exceeds max_ratio %.2f", desc, worst, worstN, h.MaxRatio)
+		return v
+	}
+	v.Pass = true
+	v.Detail = fmt.Sprintf("%s — degradation <= %.2f at every size (worst %.2f at n=%d)", desc, h.MaxRatio, worst, worstN)
 	return v
 }
 

@@ -167,11 +167,84 @@ func TestStabilityDetector(t *testing.T) {
 	})
 }
 
+func TestSurvivabilityDetector(t *testing.T) {
+	hyp := Hypothesis{
+		Name: "v", Kind: "survivability", Metric: "steps",
+		Subject:  Selector{Algo: "mm", Options: "failstop1"},
+		Baseline: Selector{Algo: "mm", Options: "default"},
+		MaxRatio: 2.0, MinDead: 1,
+	}
+	// synthSpec declares options {default, flat}; widen for the failure set.
+	mkSpec := func(h Hypothesis) *Spec {
+		s := synthSpec([]int{256, 512}, nil, h)
+		s.Options = []string{"default", "failstop1"}
+		return s
+	}
+	mk := func(deadAt256, deadAt512 int, subj256, subj512 int64) []Row {
+		rows := []Row{
+			synthRow("mm", "default", 256, 0, 100, 10),
+			synthRow("mm", "default", 512, 0, 200, 10),
+			synthRow("mm", "failstop1", 256, 0, subj256, 10),
+			synthRow("mm", "failstop1", 512, 0, subj512, 10),
+		}
+		rows[2].DeadCores = deadAt256
+		rows[3].DeadCores = deadAt512
+		return rows
+	}
+
+	t.Run("bounded degradation with real failures passes", func(t *testing.T) {
+		vs := Evaluate(mkSpec(hyp), mk(1, 1, 150, 380))
+		if !vs[0].Pass {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+		if vs[0].WorstRatio != 1.9 {
+			t.Errorf("worst ratio = %g, want 1.9", vs[0].WorstRatio)
+		}
+	})
+	t.Run("degradation beyond max_ratio fails", func(t *testing.T) {
+		vs := Evaluate(mkSpec(hyp), mk(1, 1, 150, 500))
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "exceeds max_ratio") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+		if vs[0].WorstRatio != 2.5 {
+			t.Errorf("worst ratio = %g, want 2.5", vs[0].WorstRatio)
+		}
+	})
+	t.Run("failure plan that never fired fails", func(t *testing.T) {
+		vs := Evaluate(mkSpec(hyp), mk(1, 0, 150, 380))
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "never fired") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("zero min_dead skips the fired check", func(t *testing.T) {
+		h := hyp
+		h.MinDead = 0
+		vs := Evaluate(mkSpec(h), mk(0, 0, 150, 380))
+		if !vs[0].Pass {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("errored supporting row fails with diagnostic", func(t *testing.T) {
+		rows := mk(1, 1, 150, 380)
+		rows[2].Err = "boom"
+		vs := Evaluate(mkSpec(hyp), rows)
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "errored") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+	t.Run("no shared sizes fails", func(t *testing.T) {
+		vs := Evaluate(mkSpec(hyp), mk(1, 1, 150, 380)[:2])
+		if vs[0].Pass || !strings.Contains(vs[0].Detail, "no sizes") {
+			t.Fatalf("verdict = %+v", vs[0])
+		}
+	})
+}
+
 // ---- golden suite ----
 
 // goldenSpecs are the checked-in specs whose verdicts are pinned; they run
 // over the same golden algo × machine matrix as internal/harness.
-var goldenSpecs = []string{"golden_crossover.json", "golden_stability.json"}
+var goldenSpecs = []string{"golden_crossover.json", "golden_stability.json", "golden_survivability.json"}
 
 func TestGoldenHypotheses(t *testing.T) {
 	got := make(map[string][]Verdict)
@@ -236,7 +309,7 @@ func TestGoldenHypotheses(t *testing.T) {
 // spec reproduces the paper-grounded SB-vs-flat crossover on hm4 as
 // passing verdicts, deterministically across worker counts.
 func TestDemoSpecHypotheses(t *testing.T) {
-	for _, name := range []string{"sb_vs_flat.json", "chaos_stability.json", "smoke.json"} {
+	for _, name := range []string{"sb_vs_flat.json", "chaos_stability.json", "smoke.json", "survivability.json"} {
 		data, err := os.ReadFile(filepath.Join("..", "..", "specs", name))
 		if err != nil {
 			t.Fatal(err)

@@ -18,7 +18,17 @@ type Row struct {
 	Steals   int64                 `json:"steals"`
 	PlacedAt []int                 `json:"placedAt,omitempty"`
 	Levels   []harness.LevelReport `json:"levels,omitempty"`
-	Err      string                `json:"err,omitempty"`
+
+	// Degraded-mode columns, populated only when the option set injects
+	// failures (failstop1/straggler2x/faulty): cores lost, strands migrated
+	// off dead cores, strands re-executed from their spawn closures, and the
+	// fraction of executed work that was re-execution.
+	DeadCores  int     `json:"deadCores,omitempty"`
+	Migrated   int64   `json:"migrated,omitempty"`
+	Reexec     int64   `json:"reexec,omitempty"`
+	ReexecFrac float64 `json:"reexecFrac,omitempty"`
+
+	Err string `json:"err,omitempty"`
 }
 
 // Result reconstructs the harness view of the row, so formatters built on
@@ -163,6 +173,12 @@ func runOne(c Config) Row {
 	row.Steals = res.Steals
 	row.PlacedAt = res.PlacedAt
 	row.Levels = res.Levels
+	if rec := res.Recovery; rec != nil {
+		row.DeadCores = len(rec.DeadCores)
+		row.Migrated = int64(rec.MigratedStrands)
+		row.Reexec = int64(rec.ReexecStrands)
+		row.ReexecFrac = rec.ReexecWorkFraction()
+	}
 	return row
 }
 

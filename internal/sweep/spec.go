@@ -9,7 +9,7 @@
 // determinism contract (same config + seed → byte-identical metrics)
 // extends to the sweep layer byte for byte.
 //
-// Hypotheses come in two kinds, both grounded in the paper's comparative
+// Hypotheses come in three kinds, all grounded in the paper's comparative
 // claims:
 //
 //   - "crossover": a subject schedule beats a baseline schedule on a metric
@@ -18,7 +18,11 @@
 //     ablation, and Cole–Ramachandran's space-bounded scheduler bounds);
 //   - "stability": a metric is stable within ε across chaos seeds (the
 //     robustness half of the determinism contract: schedule perturbation
-//     must not move the cache-complexity envelope).
+//     must not move the cache-complexity envelope);
+//   - "survivability": a failure-injected schedule degrades gracefully —
+//     the degraded/healthy metric ratio stays within a declared bound while
+//     the failure plan verifiably fired (e.g. SB loses < 2x makespan at one
+//     dead core of 8).
 package sweep
 
 import (
@@ -57,10 +61,15 @@ type Spec struct {
 //   - "stability": Filter selects rows; within every (algo, machine, n,
 //     options) group the relative spread of Metric across the seed axis
 //     must stay ≤ Epsilon.
+//   - "survivability": Subject selects a failure-injected schedule, Baseline
+//     its healthy counterpart; the degraded subject/baseline Metric ratio
+//     must stay ≤ MaxRatio at every shared size, and (when MinDead > 0)
+//     every subject row must have lost at least MinDead cores, proving the
+//     failures actually fired.
 type Hypothesis struct {
 	Name   string `json:"name"`
-	Kind   string `json:"kind"`   // "crossover" | "stability"
-	Metric string `json:"metric"` // "steps" | "work" | "steals" | "misses.L<k>" | "ratio.L<k>"
+	Kind   string `json:"kind"`   // "crossover" | "stability" | "survivability"
+	Metric string `json:"metric"` // "steps" | "work" | "steals" | "dead_cores" | "migrated" | "reexec" | "reexec_frac" | "misses.L<k>" | "ratio.L<k>"
 
 	// crossover fields.
 	Subject    Selector `json:"subject,omitempty"`
@@ -71,6 +80,10 @@ type Hypothesis struct {
 	// stability fields.
 	Filter  Selector `json:"filter,omitempty"`
 	Epsilon float64  `json:"epsilon,omitempty"`
+
+	// survivability fields (Subject and Baseline as for crossover).
+	MaxRatio float64 `json:"max_ratio,omitempty"`
+	MinDead  int     `json:"min_dead,omitempty"`
 }
 
 // Selector picks rows out of the grid.  Empty fields match any value;
@@ -311,8 +324,32 @@ func (s *Spec) validateHypothesis(i int) error {
 		if err := s.checkSelector(hf("filter"), h.Filter); err != nil {
 			return err
 		}
+	case "survivability":
+		if h.MaxRatio <= 0 {
+			return specErrf(hf("max_ratio"), "survivability needs max_ratio > 0, got %g", h.MaxRatio)
+		}
+		if h.MinDead < 0 {
+			return specErrf(hf("min_dead"), "must be >= 0, got %d", h.MinDead)
+		}
+		for _, sel := range []struct {
+			name string
+			s    Selector
+		}{{"subject", h.Subject}, {"baseline", h.Baseline}} {
+			if sel.s.Algo == "" {
+				return specErrf(hf(sel.name+".algo"), "survivability selectors must pin an algorithm")
+			}
+			if err := s.checkSelector(hf(sel.name), sel.s); err != nil {
+				return err
+			}
+			if len(s.Machines) > 1 && sel.s.Machine == "" {
+				return specErrf(hf(sel.name+".machine"), "spec sweeps %d machines; survivability selectors must pin one", len(s.Machines))
+			}
+		}
+		if h.Subject == h.Baseline {
+			return specErrf(hf("baseline"), "subject and baseline select the same rows (%s)", h.Subject)
+		}
 	default:
-		return specErrf(hf("kind"), "unknown kind %q (have crossover, stability)", h.Kind)
+		return specErrf(hf("kind"), "unknown kind %q (have crossover, stability, survivability)", h.Kind)
 	}
 	return nil
 }
@@ -338,7 +375,7 @@ func (s *Spec) checkSelector(fieldName string, sel Selector) error {
 // metricSel is a parsed metric name: a scalar counter or a per-level
 // series indexed by cache level.
 type metricSel struct {
-	kind  string // "steps" | "work" | "steals" | "misses" | "ratio"
+	kind  string // "steps" | "work" | "steals" | "dead_cores" | "migrated" | "reexec" | "reexec_frac" | "misses" | "ratio"
 	level int    // 1-based cache level for misses/ratio
 }
 
@@ -349,15 +386,16 @@ func (m metricSel) String() string {
 	return m.kind
 }
 
-// parseMetric parses "steps", "work", "steals", "misses.L<k>" or
-// "ratio.L<k>" (k >= 1; misses is the per-level max miss count, ratio the
-// measured/predicted Table II ratio).
+// parseMetric parses "steps", "work", "steals", the degraded-mode counters
+// "dead_cores", "migrated", "reexec", "reexec_frac", or the per-level series
+// "misses.L<k>" / "ratio.L<k>" (k >= 1; misses is the per-level max miss
+// count, ratio the measured/predicted Table II ratio).
 func parseMetric(s string) (metricSel, error) {
 	switch s {
-	case "steps", "work", "steals":
+	case "steps", "work", "steals", "dead_cores", "migrated", "reexec", "reexec_frac":
 		return metricSel{kind: s}, nil
 	case "":
-		return metricSel{}, fmt.Errorf("empty metric (want steps, work, steals, misses.L<k> or ratio.L<k>)")
+		return metricSel{}, fmt.Errorf("empty metric (want steps, work, steals, dead_cores, migrated, reexec, reexec_frac, misses.L<k> or ratio.L<k>)")
 	}
 	kind, lvl, ok := strings.Cut(s, ".L")
 	if ok && (kind == "misses" || kind == "ratio") {
@@ -366,7 +404,7 @@ func parseMetric(s string) (metricSel, error) {
 			return metricSel{kind: kind, level: k}, nil
 		}
 	}
-	return metricSel{}, fmt.Errorf("bad metric %q (want steps, work, steals, misses.L<k> or ratio.L<k>)", s)
+	return metricSel{}, fmt.Errorf("bad metric %q (want steps, work, steals, dead_cores, migrated, reexec, reexec_frac, misses.L<k> or ratio.L<k>)", s)
 }
 
 // valueOf extracts the metric from a measured row.
@@ -378,6 +416,14 @@ func (m metricSel) valueOf(r Row) (float64, error) {
 		return float64(r.Work), nil
 	case "steals":
 		return float64(r.Steals), nil
+	case "dead_cores":
+		return float64(r.DeadCores), nil
+	case "migrated":
+		return float64(r.Migrated), nil
+	case "reexec":
+		return float64(r.Reexec), nil
+	case "reexec_frac":
+		return r.ReexecFrac, nil
 	case "misses", "ratio":
 		if m.level < 1 || m.level > len(r.Levels) {
 			return 0, fmt.Errorf("metric %s: row %s has cache levels 1..%d", m, r.Key(), len(r.Levels))

@@ -38,7 +38,8 @@ func (w *JSONLWriter) Flush() error      { return w.buf.Flush() }
 // semicolon-joined so the column set does not depend on the machine axis.
 var csvHeader = []string{
 	"algo", "machine", "n", "options", "seed", "hash",
-	"steps", "work", "steals", "misses", "placed_at", "err",
+	"steps", "work", "steals", "misses", "placed_at",
+	"dead_cores", "migrated", "reexec", "reexec_frac", "err",
 }
 
 // CSVWriter streams rows in the fixed csvHeader schema.
@@ -69,7 +70,10 @@ func (w *CSVWriter) Write(r Row) error {
 		strconv.FormatInt(r.Seed, 10), r.Hash,
 		strconv.FormatInt(r.Steps, 10), strconv.FormatInt(r.Work, 10),
 		strconv.FormatInt(r.Steals, 10),
-		strings.Join(misses, ";"), strings.Join(placed, ";"), r.Err,
+		strings.Join(misses, ";"), strings.Join(placed, ";"),
+		strconv.Itoa(r.DeadCores), strconv.FormatInt(r.Migrated, 10),
+		strconv.FormatInt(r.Reexec, 10),
+		strconv.FormatFloat(r.ReexecFrac, 'g', -1, 64), r.Err,
 	})
 }
 
