@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel failure-sweep fuzz soak profile sweep sweep-smoke clean
+.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel failure-sweep fuzz soak profile profile-rounds sweep sweep-smoke clean
 
 all: vet test
 
@@ -42,6 +42,7 @@ bench-smoke:
 	OBLIVHM_PARALLEL=4 $(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
 	OBLIVHM_PARALLEL_ROUNDS=4 $(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
 	OBLIVHM_PARALLEL_ROUNDS=4 OBLIVHM_PARALLEL=4 $(GO) test -run '^$$' -bench 'E[0-9]' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'RoundLoop' -benchtime 1x .
 
 # Regenerate the paper's Table I / Table II / ablation measurements
 # (EXPERIMENTS.md records a captured run).
@@ -123,6 +124,24 @@ PROFILE_ARGS ?= -algo sort -machine hm4 -n 8192 -repeat 10
 profile:
 	$(GO) run ./cmd/hmsim $(PROFILE_ARGS) -cpuprofile cpu.out -memprofile mem.out
 	@echo "inspect with: $(GO) tool pprof -top cpu.out   (or -http=:8080)"
+
+# Re-measure the scheduler residue (DESIGN.md §11, BENCH_PR*.json): serial
+# cpuprofiles of the five workloads the bench records track, then the
+# cumulative share of core.(*engine).loop from each — the fraction of the
+# run that stays serial under the composed parallel backends.
+profile-rounds:
+	@mkdir -p bin
+	$(GO) build -o bin/hmsim ./cmd/hmsim
+	bin/hmsim -algo scan -machine hm4 -n 16384 -repeat 20 -cpuprofile bin/rounds_scan.out
+	bin/hmsim -algo mm   -machine mc3 -n 4096  -repeat 20 -cpuprofile bin/rounds_mm.out
+	bin/hmsim -algo fft  -machine hm4 -n 4096  -repeat 20 -cpuprofile bin/rounds_fft.out
+	bin/hmsim -algo sort -machine hm4 -n 8192  -repeat 20 -cpuprofile bin/rounds_sort.out
+	bin/hmsim -algo lr   -machine mc3 -n 1024  -repeat 20 -cpuprofile bin/rounds_lr.out
+	@for f in scan mm fft sort lr; do \
+		echo "== $$f: cum%% of core.(*engine).loop =="; \
+		$(GO) tool pprof -top -nodefraction=0 bin/hmsim bin/rounds_$$f.out 2>/dev/null \
+			| grep -E '\(\*engine\)\.loop$$' || echo "  (not sampled)"; \
+	done
 
 clean:
 	rm -f test_output.txt bench_output.txt cpu.out mem.out

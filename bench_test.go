@@ -186,23 +186,46 @@ func benchRoundLoop(b *testing.B, tasks, ticks int, opts ...core.Opt) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	var steps int64
-	for i := 0; i < b.N; i++ {
+	root := func(c *core.Ctx) {
+		c.SpawnCGCSB(1<<10, tasks, func(cc *core.Ctx, idx int) {
+			for k := 0; k < ticks; k++ {
+				cc.Tick(4)
+			}
+		})
+	}
+	run := func(extra ...core.Opt) int64 {
 		m, err := hm.NewMachine(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
-		s := core.NewSim(m, opts...)
-		st := s.Run(1<<16, func(c *core.Ctx) {
-			c.SpawnCGCSB(1<<10, tasks, func(cc *core.Ctx, idx int) {
-				for k := 0; k < ticks; k++ {
-					cc.Tick(4)
-				}
-			})
-		})
-		steps = st.Steps
+		return core.NewSim(m, extra...).Run(1<<16, root).Steps
+	}
+	refSteps := int64(-1)
+	if len(opts) > 0 {
+		// Untimed serial reference: like benchMO's env-driven check, any
+		// non-default backend must land on the identical virtual schedule.
+		refSteps = run()
+		b.ResetTimer()
+	}
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		steps = run(opts...)
+	}
+	if refSteps >= 0 && steps != refSteps {
+		b.Fatalf("vsteps diverged from serial: serial %d, got %d", refSteps, steps)
 	}
 	b.ReportMetric(float64(steps), "vsteps")
+}
+
+// prBenchWorkers sizes WithParallelRounds for the RoundLoop benches: all
+// host CPUs, floored at the backend's >= 2 eligibility threshold so the
+// speculation/commit machinery is actually measured (time-shared) even on a
+// single-CPU host instead of silently benching the disabled path.
+func prBenchWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 2 {
+		return w
+	}
+	return 2
 }
 
 // BenchmarkRoundLoopSerial: long-running strands, rare scheduler events —
@@ -217,14 +240,79 @@ func BenchmarkRoundLoopForkHeavy(b *testing.B) { benchRoundLoop(b, 1024, 16) }
 // backend — epochs of pure rounds run on worker threads, so the delta vs
 // Serial is the speculation win (or, on one CPU, its overhead).
 func BenchmarkRoundLoopParallelRounds(b *testing.B) {
-	benchRoundLoop(b, 64, 2048, core.WithParallelRounds(runtime.GOMAXPROCS(0)))
+	benchRoundLoop(b, 64, 2048, core.WithParallelRounds(prBenchWorkers()))
 }
 
-// BenchmarkRoundLoopForkHeavyParallelRounds: the degenerate case — constant
-// serialization keeps epochs to a round or two, bounding the backend's
-// overhead when speculation cannot pay off.
+// BenchmarkRoundLoopForkHeavyParallelRounds: many tiny tasks under the
+// backend.  Deferred admissions keep speculators alive through their own
+// forks, so epochs stay multi-round instead of degenerating to serial the
+// moment a strand spawns.
 func BenchmarkRoundLoopForkHeavyParallelRounds(b *testing.B) {
-	benchRoundLoop(b, 1024, 16, core.WithParallelRounds(runtime.GOMAXPROCS(0)))
+	benchRoundLoop(b, 1024, 16, core.WithParallelRounds(prBenchWorkers()))
+}
+
+// BenchmarkRoundLoopCommitHeavy: few strands, very long pure stretches —
+// thousands of rounds between scheduler events, so the per-round commit
+// walk (pop, flush, requeue, clock bump) is the dominant serial cost this
+// PR's bulk commit collapses into one queue transition per epoch.
+func BenchmarkRoundLoopCommitHeavy(b *testing.B) { benchRoundLoop(b, 16, 8192) }
+
+func BenchmarkRoundLoopCommitHeavyParallelRounds(b *testing.B) {
+	benchRoundLoop(b, 16, 8192, core.WithParallelRounds(prBenchWorkers()))
+}
+
+// benchRoundMem is benchRoundLoop with real memory traffic: PFor strands
+// stream over disjoint slices of one array, so under the composed backends
+// every pure round records into the fan-in buffers and the commit path
+// carries the full access stream — the epoch dispatch into the replay
+// pipeline is what's being measured, not the tick loop.
+func benchRoundMem(b *testing.B, opts ...core.Opt) {
+	b.Helper()
+	cfg, err := harness.Machine("hm4")
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(extra ...core.Opt) (int64, hm.Snapshot) {
+		m, err := hm.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := core.NewSim(m, extra...)
+		v := s.NewI64(1 << 12)
+		st := s.Run(1<<15, func(c *core.Ctx) {
+			for rep := 0; rep < 4; rep++ {
+				c.PFor(1<<12, 1, func(cc *core.Ctx, lo, hi int) {
+					for i := lo; i < hi; i++ {
+						a := v.Base + core.Addr(i)
+						cc.StoreI(a, cc.LoadI(a)+1)
+					}
+				})
+			}
+		})
+		return st.Steps, m.Stats()
+	}
+	refSteps, refSnap := run()
+	b.ResetTimer()
+	var steps int64
+	var snap hm.Snapshot
+	for i := 0; i < b.N; i++ {
+		steps, snap = run(opts...)
+	}
+	if steps != refSteps || !reflect.DeepEqual(snap, refSnap) {
+		b.Fatalf("metrics diverged from serial:\n  serial %d %+v\n  got    %d %+v", refSteps, refSnap, steps, snap)
+	}
+	b.ReportMetric(float64(steps), "vsteps")
+}
+
+// BenchmarkRoundLoopMemSerial / BenchmarkRoundLoopComposedDispatch: the
+// memory-streaming workload serial vs fully composed (parallel rounds +
+// replay pipeline), where bulk commits hand whole epochs of recorded
+// chunks to the pipeline as single zero-copy batches.
+func BenchmarkRoundLoopMemSerial(b *testing.B) { benchRoundMem(b) }
+
+func BenchmarkRoundLoopComposedDispatch(b *testing.B) {
+	w := prBenchWorkers()
+	benchRoundMem(b, core.WithParallelRounds(w), core.WithParallel(w))
 }
 
 // ---- native (real goroutine) throughput of the same algorithm code ----

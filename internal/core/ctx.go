@@ -59,17 +59,35 @@ func (c *Ctx) Tick(n int64) {
 // engine's commit walk reaches its core's current round: everything past
 // this point may read or mutate scheduler state, which only the serial
 // phases may touch.  No-op on a strand that is not speculating and in
-// native mode, so fork paths call it unconditionally.
+// native mode, so the machinery calls it unconditionally.
 //
-// Fork machinery calls it once at entry AND again after every in-loop
-// charge: a charge can suspend the strand mid-loop (budget exhausted, plain
-// serial yield), and if a later round boundary picks that front strand as a
-// speculator, the wake-up would otherwise run straight into newStrand /
-// enqueue / placeAnchored from an execution-phase thread.
+// Two kinds of scheduler interaction remain serialize points: reads whose
+// result changes the strand's own execution (waitJoin's pending check, the
+// inline-spawn decision and epilogues, allocation), and anything under
+// chaos/verify/reference/failures (those runs never speculate at all).
+// Plain fork placements are NOT serialize points anymore: a speculating
+// strand records them into its deferral buffer (deferFork) for the commit
+// walk to replay at the exact serial round, and keeps running — but every
+// fork loop still re-checks spec after each charge, because a charge can
+// suspend the strand mid-loop and a later round boundary can resume it as a
+// speculator.
 func (c *Ctx) serialize() {
 	if st := c.st; st != nil && st.spec {
 		st.specReport(yieldMsg{kind: ySerialize})
 	}
+}
+
+// newJoin allocates the join for a fork site.  The engine free list is
+// engine state — two speculators (or a speculator and the engine thread)
+// must never touch it at the same real instant — so a speculating strand
+// gets a fresh local join instead.  Join identity is unobservable: the local
+// join behaves identically and enters the free list when waitJoin recycles
+// it on the engine thread.
+func (c *Ctx) newJoin() *join {
+	if st := c.st; st != nil && st.spec {
+		return &join{}
+	}
+	return c.s.eng.newJoin()
 }
 
 // ---- CGC: coarse-grained contiguous scheduling ----
@@ -114,8 +132,7 @@ func (c *Ctx) PFor(n, elemWords int, body func(cc *Ctx, lo, hi int)) {
 	// on B_1 block boundaries (arrays are B_1-aligned).
 	cs := (n + nchunks - 1) / nchunks
 	cs = (cs + grain - 1) / grain * grain
-	c.serialize()
-	jn := e.newJoin()
+	jn := c.newJoin()
 	myChunk := -1
 	for j := 0; j*cs < n; j++ {
 		clo, chi := j*cs, (j+1)*cs
@@ -127,16 +144,21 @@ func (c *Ctx) PFor(n, elemWords int, body func(cc *Ctx, lo, hi int)) {
 			myChunk = j
 			continue
 		}
-		jn.pending++
 		c.st.charge(1)
-		c.serialize()
 		clo2, chi2 := clo, chi
-		st := e.newStrand(target, e.m.CacheOf(target, 1), jn, func(cc *Ctx) {
-			body(cc, clo2, chi2)
-		}, "cgc-chunk")
-		e.markRecov(st, c.st.recov)
-		e.emit(EvChunk, st.core, 1, target, int64(chi2-clo2)*int64(elemWords))
-		e.enqueue(st)
+		fn := func(cc *Ctx) { body(cc, clo2, chi2) }
+		words := int64(chi2-clo2) * int64(elemWords)
+		// The charge can suspend the strand mid-loop, and a later round
+		// boundary can resume it as a speculator — so re-check spec after
+		// every charge.  A speculating strand records the fork for the
+		// commit walk to replay at this exact round (admission-surviving
+		// speculation, parround.go) and keeps running its pure stretch.
+		if st := c.st; st.spec {
+			rec := st.recov
+			st.deferFork(func(e *engine) { e.forkChunk(target, jn, fn, words, rec) })
+			continue
+		}
+		e.forkChunk(target, jn, fn, words, c.st.recov)
 	}
 	if myChunk >= 0 {
 		clo, chi := myChunk*cs, (myChunk+1)*cs
@@ -221,44 +243,26 @@ func (c *Ctx) SpawnSB(tasks ...Task) {
 	}
 	// A single forked task that the scheduler would start right here runs
 	// inline on the parent strand (same schedule, no strand round-trip).
-	// inlineSB reads and mutates scheduler state, so serialize first.
-	c.serialize()
-	if len(tasks) == 1 && c.inlineSB(tasks[0]) {
-		return
+	// inlineSB reads and mutates scheduler state, so serialize first — the
+	// inline decision changes the parent's own execution and cannot be
+	// deferred.
+	if len(tasks) == 1 {
+		c.serialize()
+		if c.inlineSB(tasks[0]) {
+			return
+		}
 	}
-	jn := e.newJoin()
+	jn := c.newJoin()
 	for _, t := range tasks {
 		c.st.charge(1)
-		c.serialize()
-		jn.pending++
-		lbl := t.Label
-		if lbl == "" {
-			lbl = "sb"
-		}
-		p := pending{space: t.Space, fn: t.Fn, jn: jn, label: lbl, recov: c.st.recov}
-		if e.flat {
-			// Ablation: ignore every level above 1 — spread over L1s.
-			slot := e.leastLoadedSlot(lam, 1)
-			e.placeAnchored(slot, p)
+		// Re-check spec after the charge (see PFor): a speculating strand
+		// defers the placement to the commit walk and keeps going.
+		if st := c.st; st.spec {
+			rec := st.recov
+			st.deferFork(func(e *engine) { e.forkSB(lam, jn, t, rec) })
 			continue
 		}
-		ci1 := e.m.Cfg.Levels[i-2].Capacity // C_{i-1}
-		if t.Space <= ci1 {
-			j := e.m.SmallestFit(t.Space)
-			slot := e.leastLoadedSlot(lam, j)
-			e.placeAnchored(slot, p)
-		} else {
-			// Too big for the next level down: stays under λ.  The paper
-			// queues such tasks in Q(λ); since the forking parent itself
-			// holds λ's reservation until its children finish, we run them
-			// nested inside the parent's reservation (same shadow, no
-			// additional space) to keep the discipline deadlock-free.
-			core := e.leastLoadedCore(lam)
-			st := e.newStrand(core, lam, jn, t.Fn, lbl)
-			e.markRecov(st, c.st.recov)
-			e.emit(EvNested, st.core, lam.Level, lam.Index, t.Space)
-			e.enqueue(st)
-		}
+		e.forkSB(lam, jn, t, c.st.recov)
 	}
 	c.waitJoin(jn)
 }
@@ -292,7 +296,9 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		}
 		return
 	}
-	c.serialize()
+	// The level computation below reads only immutable machine structure, so
+	// a speculating strand may run it; the state-dependent placement of each
+	// child is what defers (see PFor).
 	t := 1
 	i := 1
 	if !e.flat {
@@ -315,7 +321,7 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 			t = lam.Level
 		}
 	}
-	jn := e.newJoin()
+	jn := c.newJoin()
 	if !e.flat && t > i && m < len(e.m.Under(lam, i)) && i < lam.Level {
 		// Small fan-out (fewer subtasks than level-i caches): the paper's
 		// even-contiguous distribution at level t would pin recursive binary
@@ -326,11 +332,18 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		// parallelism.
 		for idx := 0; idx < m; idx++ {
 			c.st.charge(1)
-			c.serialize()
-			jn.pending++
 			id := idx
-			slot := e.leastLoadedSlot(lam, i)
-			e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb", recov: c.st.recov})
+			fn := func(cc *Ctx) { task(cc, id) }
+			if st := c.st; st.spec {
+				rec := st.recov
+				// The least-loaded slot scan is state-dependent: it runs
+				// inside the closure, at replay time.
+				st.deferFork(func(e *engine) {
+					e.forkAt(e.leastLoadedSlot(lam, i), pending{space: space, jn: jn, fn: fn, label: "cgc-sb", recov: rec})
+				})
+				continue
+			}
+			e.forkAt(e.leastLoadedSlot(lam, i), pending{space: space, jn: jn, fn: fn, label: "cgc-sb", recov: c.st.recov})
 		}
 		c.waitJoin(jn)
 		return
@@ -340,14 +353,17 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 		// parent's reservation (see SpawnSB).
 		for idx := 0; idx < m; idx++ {
 			c.st.charge(1)
-			c.serialize()
-			jn.pending++
 			id := idx
+			fn := func(cc *Ctx) { task(cc, id) }
+			// The round-robin core is a pure function of lam and idx, so it
+			// may be computed while speculating.
 			core := lam.CoreLo + idx%(lam.CoreHi-lam.CoreLo)
-			st := e.newStrand(core, lam, jn, func(cc *Ctx) { task(cc, id) }, "cgc-sb")
-			e.markRecov(st, c.st.recov)
-			e.emit(EvNested, st.core, lam.Level, lam.Index, space)
-			e.enqueue(st)
+			if st := c.st; st.spec {
+				rec := st.recov
+				st.deferFork(func(e *engine) { e.forkNested(lam, core, jn, fn, space, "cgc-sb", rec) })
+				continue
+			}
+			e.forkNested(lam, core, jn, fn, space, "cgc-sb", c.st.recov)
 		}
 		c.waitJoin(jn)
 		return
@@ -356,11 +372,19 @@ func (c *Ctx) SpawnCGCSB(space int64, m int, task func(cc *Ctx, idx int)) {
 	d := len(targets)
 	for idx := 0; idx < m; idx++ {
 		c.st.charge(1)
-		c.serialize()
-		jn.pending++
 		id := idx
+		fn := func(cc *Ctx) { task(cc, id) }
+		// The even-contiguous target cache is immutable machine structure;
+		// only the admission decision inside forkAt is engine state.
 		slot := e.slotOf(targets[idx*d/m])
-		e.placeAnchored(slot, pending{space: space, jn: jn, fn: func(cc *Ctx) { task(cc, id) }, label: "cgc-sb", recov: c.st.recov})
+		if st := c.st; st.spec {
+			rec := st.recov
+			st.deferFork(func(e *engine) {
+				e.forkAt(slot, pending{space: space, jn: jn, fn: fn, label: "cgc-sb", recov: rec})
+			})
+			continue
+		}
+		e.forkAt(slot, pending{space: space, jn: jn, fn: fn, label: "cgc-sb", recov: c.st.recov})
 	}
 	c.waitJoin(jn)
 }
@@ -412,7 +436,9 @@ func (c *Ctx) waitJoin(jn *join) {
 		// its join completed, then picked as a speculator): the free list is
 		// engine state, so park the recycle on the strand — the conductor
 		// collects it at the end of the phase.  At most one can accumulate:
-		// any later fork serializes before creating its join.
+		// reaching a second waitJoin passes the serialize above, which pauses
+		// the speculator until the commit walk consumes it (clearing spec),
+		// so the later join is recycled through putJoin normally.
 		c.st.putJn = jn
 		return
 	}

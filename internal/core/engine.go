@@ -2,7 +2,6 @@ package core
 
 import (
 	"math/bits"
-	"sync/atomic"
 
 	"oblivhm/internal/hm"
 )
@@ -85,11 +84,17 @@ type strand struct {
 	// the pure rounds it completed before reporting; rep carries the report
 	// (written before the prReport send, read after the receive — the
 	// channel is the happens-before edge); putJn parks a join recycle that
-	// the strand could not hand to the engine while speculating.
+	// the strand could not hand to the engine while speculating; defFks and
+	// defNext hold the forks the strand caused while speculating, recorded
+	// instead of executed and replayed by the commit walk at their exact
+	// serial rounds (appended by the speculator thread, read by the engine
+	// thread — prReport is again the happens-before edge).
 	spec      bool
 	specRound int
 	rep       yieldMsg
 	putJn     *join
+	defFks    []deferredFork
+	defNext   int
 
 	// Failure-recovery state (failures.go).  recov tags a strand whose work
 	// is re-execution after a core death (replacements and their re-forked
@@ -101,6 +106,16 @@ type strand struct {
 	recov     bool
 	waitingOn *join
 	inline    []inlineFrame
+}
+
+// deferredFork is one fork recorded by a speculating strand (parround.go):
+// the epoch round it happened in and a closure that performs the placement
+// against live engine state.  Placement decisions (least-loaded scans,
+// admission checks) happen inside apply, at replay time, when the engine
+// state is exactly what the serial schedule would present at that round.
+type deferredFork struct {
+	round int
+	apply func(*engine)
 }
 
 // inlineFrame records the engine accounting of one open inline spawn
@@ -237,16 +252,16 @@ type engine struct {
 	// setting (0 = off); the rest is per-epoch: specOf maps a core to its
 	// speculator until the commit walk consumes its report, nspec counts
 	// outstanding speculators, commitRound is the loop round index relative
-	// to the epoch's start, prReport collects reports from the concurrently
-	// executing strands, and prAbort tells them to stop at their next round
-	// boundary.
+	// to the epoch's start, and prReport collects reports from the
+	// concurrently executing strands.
 	prWorkers   int
 	specOf      []*strand
 	nspec       int
 	commitRound int
 	prReport    chan *strand
-	prAbort     atomic.Bool
 	specs       []*strand // epoch scratch
+	bulkCores   []int     // bulkCommit scratch
+	prSpecHook  func()    // test-only: runs right after speculate() arms an epoch
 
 	// Failure injection (failures.go).  fail is the seeded failure domain
 	// (nil unless WithFailures); watchdog is the round budget from
@@ -309,6 +324,7 @@ func (e *engine) newStrand(core int, anchor *hm.Cache, jn *join, fn func(*Ctx), 
 		st.started, st.done = false, false
 		st.budget, st.rounds, st.grant = 0, 0, 0
 		st.spec, st.specRound, st.putJn = false, 0, nil
+		st.defFks, st.defNext = st.defFks[:0], 0
 		st.recov, st.waitingOn = false, nil
 		st.inline = st.inline[:0]
 		st.ctx.core, st.ctx.anchor = core, anchor
@@ -473,8 +489,20 @@ func (e *engine) loop() error {
 		if e.fail != nil {
 			recovered = e.fireFailures()
 		}
-		if parOK && e.nspec == 0 && bits.OnesCount64(e.active) >= 2 {
-			e.speculate()
+		if parOK {
+			if e.nspec == 0 && bits.OnesCount64(e.active) >= 2 {
+				e.speculate()
+				if e.nspec > 0 && e.prSpecHook != nil {
+					e.prSpecHook()
+				}
+			}
+			if e.nspec > 0 {
+				// Collapse the pure replay prefix shared by every speculator
+				// into one bulk transition (parround.go).  Re-checked every
+				// round: an epoch capped by a deferred fork or a consumed
+				// report may expose a second pure stretch.
+				e.bulkCommit()
+			}
 		}
 		progressed := false
 		if scanAll {
@@ -781,6 +809,67 @@ func (e *engine) placeAnchored(slot *cacheSlot, p pending) {
 func (e *engine) startsNow(slot *cacheSlot, space int64) bool {
 	capWords := slot.cache.Cap * slot.cache.Block
 	return len(slot.queue) == 0 && (slot.used+space <= capWords || slot.anchd == 0)
+}
+
+// ---- fork placement bodies ----
+//
+// The per-child placement of every fork path lives in these helpers so the
+// serial fork loops (ctx.go) and the parallel-rounds deferred-fork replay
+// (parround.go) execute literally the same code: a speculating strand records
+// a closure over one of these calls instead of running it, and the commit
+// walk applies it at the exact serial round against live engine state.  Each
+// helper counts its child on the join exactly once.
+
+// forkAt places an anchored child task at the given slot (or queues it in
+// Q(λ)).  The slot must be a pure function of immutable machine structure at
+// the call site that chose it — state-dependent slot choices belong inside
+// the deferred closure, not before it.
+func (e *engine) forkAt(slot *cacheSlot, p pending) {
+	p.jn.pending++
+	e.placeAnchored(slot, p)
+}
+
+// forkNested creates a child strand nested in the parent's reservation at
+// lam, pinned to core, and enqueues it.
+func (e *engine) forkNested(lam *hm.Cache, core int, jn *join, fn func(*Ctx), space int64, lbl string, recov bool) {
+	jn.pending++
+	st := e.newStrand(core, lam, jn, fn, lbl)
+	e.markRecov(st, recov)
+	e.emit(EvNested, st.core, lam.Level, lam.Index, space)
+	e.enqueue(st)
+}
+
+// forkSB is one SpawnSB child: anchored SB placement below lam, or nested at
+// lam when the task is too big for the next level down (see SpawnSB).
+func (e *engine) forkSB(lam *hm.Cache, jn *join, t Task, recov bool) {
+	lbl := t.Label
+	if lbl == "" {
+		lbl = "sb"
+	}
+	switch {
+	case e.flat:
+		// Ablation: ignore every level above 1 — spread over L1s.
+		e.forkAt(e.leastLoadedSlot(lam, 1), pending{space: t.Space, fn: t.Fn, jn: jn, label: lbl, recov: recov})
+	case t.Space <= e.m.Cfg.Levels[lam.Level-2].Capacity:
+		j := e.m.SmallestFit(t.Space)
+		e.forkAt(e.leastLoadedSlot(lam, j), pending{space: t.Space, fn: t.Fn, jn: jn, label: lbl, recov: recov})
+	default:
+		// Too big for the next level down: stays under λ.  The paper queues
+		// such tasks in Q(λ); since the forking parent itself holds λ's
+		// reservation until its children finish, we run them nested inside
+		// the parent's reservation (same shadow, no additional space) to
+		// keep the discipline deadlock-free.
+		e.forkNested(lam, e.leastLoadedCore(lam), jn, t.Fn, t.Space, lbl, recov)
+	}
+}
+
+// forkChunk is one PFor chunk strand on its CGC target core.
+func (e *engine) forkChunk(target int, jn *join, fn func(*Ctx), words int64, recov bool) {
+	jn.pending++
+	st := e.newStrand(target, e.m.CacheOf(target, 1), jn, fn, "cgc-chunk")
+	e.markRecov(st, recov)
+	e.emit(EvChunk, st.core, 1, target, words)
+	e.enqueue(st)
 }
 
 // leastLoadedCore picks the core with the fewest live strands in the shadow

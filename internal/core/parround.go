@@ -27,26 +27,38 @@ package core
 //     concurrently runnable strands of a race-free fork-join program have
 //     disjoint footprints (the property the chaos sweeps pin).
 //  2. Parallel execution: each speculator runs pure rounds on its own OS
-//     thread until it (a) exhausts the epoch's round allowance or sees the
-//     abort flag at a boundary (reports yBudget), (b) reaches a scheduler
-//     interaction — a fork, a join recycle, an allocation (reports
-//     ySerialize and pauses mid-round), or (c) returns (reports yDone).
-//     The first report raises the abort flag, bounding the epoch at the
-//     earliest interaction so the serial tail stays short.  The conductor
-//     collects exactly one report per speculator; all of them are parked
-//     before the commit starts.
+//     thread until it (a) exhausts the epoch's fixed sync window of
+//     prEpochRounds rounds (reports yBudget), (b) reaches a scheduler
+//     interaction whose RESULT its own execution depends on — a join wait,
+//     an allocation, an inline-spawn decision (reports ySerialize and
+//     pauses mid-round), or (c) returns (reports yDone).  A plain fork the
+//     speculator itself causes is NOT an interaction anymore: its placement
+//     is recorded into a per-strand deferral buffer (deferFork) tagged with
+//     the current epoch round, and the speculator keeps running its pure
+//     stretch — the fork's result is invisible to the parent until its next
+//     waitJoin, which still serializes.  Each speculator pauses on its own
+//     terms; pausing is never cross-coupled through shared flags, so epoch
+//     depth is independent of OS thread scheduling.  The conductor collects
+//     exactly one report per speculator; all of them are parked before the
+//     commit starts.
 //  3. Serial commit: the normal round loop continues, but a core with an
 //     unconsumed speculator replays its recorded rounds instead of running
 //     strands: at commit round r < specRound the turn is pop + flush the
-//     round-r access chunk into the cache model + requeue at the front —
-//     exactly the serial pop/grant/yield-budget/requeue turn.  At the
-//     report round the speculator is consumed: a yBudget reporter becomes a
-//     plain runnable front strand again (it is parked in exactly the state
-//     a serial budget yield leaves it in); a ySerialize reporter has its
-//     partial round flushed and is resumed live with its leftover budget,
-//     its next real yield handled by the ordinary switch; a yDone reporter
-//     has its partial round flushed and is finished.  Cores without a
-//     speculator run plain serial turns throughout.
+//     round-r access chunk into the cache model + replay the forks the
+//     speculator deferred in round r (live placement, exact serial state) +
+//     requeue at the front — exactly the serial pop/grant/yield-budget/
+//     requeue turn.  At the report round the speculator is consumed: a
+//     yBudget reporter becomes a plain runnable front strand again (it is
+//     parked in exactly the state a serial budget yield leaves it in); a
+//     ySerialize reporter has its partial round flushed and same-round
+//     deferred forks replayed, then is resumed live with its leftover
+//     budget, its next real yield handled by the ordinary switch; a yDone
+//     reporter has its partial round flushed and is finished.  Cores
+//     without a speculator run plain serial turns throughout.  When the
+//     active set is exactly the speculator set, bulkCommit collapses the
+//     shared pure prefix of the replay — R rounds of identity pop/requeue
+//     pairs — into one clock advance plus one multi-round flush
+//     (FlushFanRounds), preserving the (round, core) flush order.
 //
 // Why every observable is byte-identical to serial:
 //
@@ -72,7 +84,7 @@ package core
 //     (their queued strands keep nrun >= 1), and its absence during an
 //     epoch is unobservable by the same withReference() equivalence that
 //     licenses its presence.
-//   - Abort timing: the abort flag only decides how far ahead a speculator
+//   - Epoch depth: the sync window only decides how far ahead a speculator
 //     records before pausing.  A strand consumed early at commit simply
 //     continues live, executing the identical operations it would have
 //     recorded, so speculation depth is a performance knob with no
@@ -93,12 +105,19 @@ import (
 	"runtime"
 )
 
-// prEpochRounds caps how many whole rounds one speculator may run ahead in
-// a single epoch.  Epochs usually end much earlier — at the first
-// speculator's scheduler interaction, via the abort flag — so the cap only
-// bounds fan-in buffer growth on long pure phases (quantum words of
-// recording per round per core).
-const prEpochRounds = 1024
+// prEpochRounds is the epoch sync window: the fixed number of whole rounds
+// a speculator runs ahead before pausing, unless its own scheduler
+// interaction pauses it earlier.  A fixed window makes epoch depth a pure
+// function of the program — every pure speculator pauses at exactly this
+// round — so bulkCommit's collapsible prefix does not depend on how the OS
+// happens to schedule the worker threads (an abort-flag design, where the
+// first reporter curtails everyone else, degenerates to 1-round epochs
+// whenever the OS runs the speculators sequentially, e.g. on a single CPU).
+// It also bounds fan-in buffer growth (quantum records per round per core)
+// and the serial tail after an early interaction: once one speculator is
+// consumed mid-window the rest of its window replays round by round, so the
+// window is kept small enough that the tail stays short.
+const prEpochRounds = 64
 
 // WithParallelRounds runs the engine's lockstep rounds on a pool of real OS
 // threads: at eligible round boundaries the front strands of up to workers
@@ -138,13 +157,20 @@ func (e *engine) speculate() {
 		return
 	}
 	if e.prReport == nil {
-		e.prReport = make(chan *strand, len(e.runq))
+		// At most prWorkers reports are ever outstanding (one per
+		// speculator, and speculators are capped at prWorkers and at the
+		// core count).
+		n := e.prWorkers
+		if n > len(e.runq) {
+			n = len(e.runq)
+		}
+		e.prReport = make(chan *strand, n)
 	}
-	e.prAbort.Store(false)
 	e.m.StartRoundFanIn()
 	for _, st := range specs {
 		st.spec = true
 		st.specRound = 0
+		st.defFks, st.defNext = st.defFks[:0], 0
 		st.grant = prEpochRounds - 1 // plus the initial budget = prEpochRounds rounds
 		e.specOf[st.core] = st
 		if !st.started {
@@ -160,11 +186,11 @@ func (e *engine) speculate() {
 	e.nspec = len(specs)
 	// Collect exactly one report per speculator.  Receive order is OS
 	// nondeterminism and is not consulted: reports live on the strands,
-	// keyed by core.  The first report raises the abort flag so the rest
-	// pause at their next round boundary.
+	// keyed by core.  Every speculator terminates its phase on its own —
+	// at its scheduler interaction or at the fixed window — so no abort
+	// signal is needed.
 	for range specs {
 		<-e.prReport
-		e.prAbort.Store(true)
 	}
 	e.m.EndRoundFanIn()
 	// Hand back join recycles the speculators could not perform themselves
@@ -186,11 +212,18 @@ func (e *engine) commitCore(c int) bool {
 	if e.commitRound < st.specRound {
 		// A fully speculated pure round: the serial turn would pop the
 		// front, grant it the quantum, and requeue it at the budget yield.
+		// Forks the speculator deferred in this round replay after the
+		// chunk flush: fork machinery touches no memory, so flushing the
+		// whole round's accesses first is cache-equivalent, and events
+		// carry round-granular clocks either way.
 		if p := e.pop(c); p != st {
 			e.specFail(p)
 			return true
 		}
 		e.m.FlushFanChunk(c, e.commitRound)
+		if st.defNext < len(st.defFks) && st.defFks[st.defNext].round == e.commitRound {
+			st.applyDeferred(e, e.commitRound)
+		}
 		e.requeueFront(st)
 		return true
 	}
@@ -201,18 +234,23 @@ func (e *engine) commitCore(c int) bool {
 	case yBudget:
 		// Stopped exactly at a round boundary, still runnable: the strand is
 		// parked precisely as a serial budget yield leaves it, so this turn
-		// is a plain serial turn with it at the front.
+		// is a plain serial turn with it at the front.  (No deferral can be
+		// tagged with the report round: a yBudget report happens at the
+		// boundary after round specRound-1, so every recorded fork replayed
+		// in an earlier commit turn.)
 		st.spec = false
 		return e.runCoreRest(c, e.quantum)
 	case ySerialize:
 		// Paused mid-round at a scheduler interaction: flush the partial
-		// round, resume it live with its leftover budget, and handle its
-		// next real yield exactly as runStrand would.
+		// round, replay forks it deferred earlier in the same round, resume
+		// it live with its leftover budget, and handle its next real yield
+		// exactly as runStrand would.
 		if p := e.pop(c); p != st {
 			e.specFail(p)
 			return true
 		}
 		e.m.FlushFanChunk(c, st.specRound)
+		st.applyDeferred(e, st.specRound)
 		st.spec = false
 		st.grant = 0
 		st.resume <- st.budget
@@ -220,14 +258,18 @@ func (e *engine) commitCore(c int) bool {
 		e.runCoreRest(c, leftover)
 		return true
 	case yDone:
-		// Returned (or panicked) mid-round: flush the partial round, then
-		// finish the strand as the serial yDone handler would and give the
-		// rest of the turn to whatever the completion made runnable.
+		// Returned (or panicked) mid-round: flush the partial round, replay
+		// same-round deferred forks (reachable only when the strand panicked
+		// between a fork and its waitJoin — the serial engine would have
+		// placed those children too), then finish the strand as the serial
+		// yDone handler would and give the rest of the turn to whatever the
+		// completion made runnable.
 		if p := e.pop(c); p != st {
 			e.specFail(p)
 			return true
 		}
 		e.m.FlushFanChunk(c, st.specRound)
+		st.applyDeferred(e, st.specRound)
 		st.spec = false
 		leftover := st.budget
 		e.handleDone(st, st.rep.panicked)
@@ -237,10 +279,87 @@ func (e *engine) commitCore(c int) bool {
 	return true
 }
 
+// bulkCommit collapses the pure replay prefix shared by every speculator
+// into one bulk transition.  Eligibility: the active set is exactly the
+// speculator set (every turn of the next rounds is a replay turn), each
+// speculator is at its queue front, and stealing is off (idle cores'
+// stealFor turns could touch queues mid-range).  Under those conditions the
+// next R rounds — R capped at each speculator's report round, at its first
+// pending deferred fork, and at the watchdog horizon — consist solely of
+// pop + flush + requeueFront turns: the pop/requeue pairs are identities on
+// every queue, no events fire, and the loop's per-round checks are all
+// vacuous (every round progresses, no failure can arise, the clock stays
+// below the watchdog).  The only observable work is the chunk flushes in
+// (round, core) order and R quantum ticks of the clock, both performed here
+// in one step; FlushFanRounds keeps the exact (round, core) flush order
+// internally.  Proven observably equivalent against withReference() by
+// TestParallelRoundsMatchReference.
+func (e *engine) bulkCommit() {
+	if e.steal || bits.OnesCount64(e.active) != e.nspec {
+		return
+	}
+	rmax := prEpochRounds
+	cores := e.bulkCores[:0]
+	mask := e.active
+	for mask != 0 {
+		c := bits.TrailingZeros64(mask)
+		mask &= mask - 1
+		st := e.specOf[c]
+		if st == nil || e.runq[c].front() != st {
+			e.bulkCores = cores
+			return
+		}
+		if r := st.specRound - e.commitRound; r < rmax {
+			rmax = r
+		}
+		if st.defNext < len(st.defFks) {
+			if r := st.defFks[st.defNext].round - e.commitRound; r < rmax {
+				rmax = r
+			}
+		}
+		cores = append(cores, c)
+	}
+	e.bulkCores = cores
+	if e.watchdog > 0 {
+		// Advance only while the final clock stays strictly below the
+		// horizon; the crossing round goes through the per-round loop so the
+		// watchdog check fires exactly where the serial engine fires it.
+		if r := int((e.wdClock - e.clock - 1) / e.quantum); r < rmax {
+			rmax = r
+		}
+	}
+	if rmax < 2 {
+		return // nothing to collapse beyond the turn the scan runs anyway
+	}
+	e.m.FlushFanRounds(cores, e.commitRound, e.commitRound+rmax)
+	e.clock += int64(rmax) * e.quantum
+	e.commitRound += rmax
+}
+
+// deferFork records a fork the strand caused while speculating: the closure
+// performs the placement against live engine state when the commit walk
+// replays this strand's current round (admission-surviving speculation).
+func (st *strand) deferFork(apply func(*engine)) {
+	st.defFks = append(st.defFks, deferredFork{round: st.specRound, apply: apply})
+}
+
+// applyDeferred replays the strand's deferred forks tagged with the given
+// epoch round, in record order — the serial fork order within the turn.
+// Entries are cleared as they apply so consumed closures are not retained.
+func (st *strand) applyDeferred(e *engine, round int) {
+	for st.defNext < len(st.defFks) && st.defFks[st.defNext].round == round {
+		st.defFks[st.defNext].apply(e)
+		st.defFks[st.defNext] = deferredFork{}
+		st.defNext++
+	}
+}
+
 // specFail aborts the epoch on a front-stability violation — impossible by
 // construction, kept as a typed failure rather than silent corruption.  The
-// unconsumed speculators stay parked (leaked, like blocked strands of any
-// failed run).
+// unconsumed speculators are removed from their run queues and stay parked
+// (leaked, like blocked strands of any failed run): the conductor is gone,
+// so a serial turn later in this round must not pop one and try to resume
+// it.  The loop surfaces the error at the end of the round.
 func (e *engine) specFail(got *strand) {
 	if got != nil {
 		e.requeueFront(got)
@@ -254,7 +373,20 @@ func (e *engine) specFail(got *strand) {
 	}
 	e.nspec = 0
 	for i := range e.specOf {
+		st := e.specOf[i]
+		if st == nil {
+			continue
+		}
 		e.specOf[i] = nil
+		// Raw deque ops on purpose: the engine's counters stay as they are
+		// (the run is over at the end of this round), the queue just loses
+		// the orphaned speculator wherever the corruption left it.
+		q := &e.runq[i]
+		for n := q.size(); n > 0; n-- {
+			if p := q.popFront(); p != st {
+				q.pushBack(p)
+			}
+		}
 	}
 }
 
@@ -268,15 +400,15 @@ func (st *strand) specSlow() {
 	for st.budget <= 0 {
 		st.specRound++
 		e.m.MarkRound(st.core)
-		if st.rounds > 0 && !e.prAbort.Load() {
+		if st.rounds > 0 {
 			st.rounds--
 			st.budget = e.quantum // overshoot forgiven, as at every boundary
 			continue
 		}
-		// Allowance exhausted or epoch aborted: report and pause.  The
-		// commit walk re-grants a positive budget (it treats the strand as
-		// a plain front strand from its report round on), so the loop exits
-		// after the resume.
+		// Sync window exhausted: report and pause.  The commit walk
+		// re-grants a positive budget (it treats the strand as a plain
+		// front strand from its report round on), so the loop exits after
+		// the resume.
 		st.specReport(yieldMsg{kind: yBudget})
 	}
 }

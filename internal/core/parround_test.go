@@ -65,11 +65,35 @@ func forkHeavyWorkload(s *Session) func(*Ctx) {
 	return func(c *Ctx) { rec(c, 0, 6) }
 }
 
+// pforHeavyWorkload is the admission-surviving speculation showcase: the
+// parent forks a chunk to every sibling core and then runs its own chunk —
+// fork, then a long pure stretch, then the join.  While speculating, the
+// parent defers the chunk placements (deferFork) and keeps recording pure
+// rounds, so the whole fan-out phase stays inside one epoch; the repeated
+// outer rounds re-fork from a front strand that is usually mid-speculation.
+func pforHeavyWorkload(s *Session) func(*Ctx) {
+	v := s.NewI64(1 << 11)
+	return func(c *Ctx) {
+		for rep := 0; rep < 4; rep++ {
+			c.PFor(1<<11, 1, func(cc *Ctx, lo, hi int) {
+				for r := 0; r < 8; r++ {
+					for i := lo; i < hi; i++ {
+						a := v.Base + Addr(i)
+						cc.StoreI(a, cc.LoadI(a)+1)
+						cc.Tick(1)
+					}
+				}
+			})
+		}
+	}
+}
+
 func parRoundWorkloads() map[string]func(*Session) func(*Ctx) {
 	return map[string]func(*Session) func(*Ctx){
 		"mixed": parallelWorkload,
 		"tick":  tickHeavyWorkload,
 		"fork":  forkHeavyWorkload,
+		"pfor":  pforHeavyWorkload,
 	}
 }
 
@@ -112,6 +136,91 @@ func TestParallelRoundsComposed(t *testing.T) {
 			checkParRoundsEquiv(t, mname+"/"+wname, cfg, nil, wl, true)
 		}
 		checkParRoundsEquiv(t, mname+"/steal", cfg, []Opt{WithStealing()}, parallelWorkload, true)
+	}
+}
+
+// TestParallelRoundsMatchReference: parallel-rounds runs against the
+// reference engine (the seed schedule, every fast path disabled).  The
+// serial fast path is already pinned to the reference by the Equiv suite;
+// comparing the parallel backend to the reference DIRECTLY is the
+// observational-equivalence proof for bulkCommit — the collapsed
+// pop/flush/requeue turns must be indistinguishable from the reference
+// engine's per-round decisions on every frozen observable.
+func TestParallelRoundsMatchReference(t *testing.T) {
+	for mname, cfg := range equivMachines() {
+		for wname, wl := range parRoundWorkloads() {
+			t.Run(mname+"/"+wname, func(t *testing.T) {
+				ref := runEquiv(cfg, 1<<15, nil, wl, true)
+				for _, w := range []int{2, 4, 8} {
+					for _, composed := range []bool{false, true} {
+						popts := []Opt{WithParallelRounds(w)}
+						if composed {
+							popts = append(popts, WithParallel(w))
+						}
+						par := runEquiv(cfg, 1<<15, popts, wl, false)
+						if !reflect.DeepEqual(ref, par) {
+							t.Errorf("workers=%d composed=%v diverged from reference:\nreference %+v\nparallel  %+v", w, composed, ref, par)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelRoundsSpecFail drives the front-stability invariant directly:
+// the condition is impossible by construction, so the test-only prSpecHook
+// corrupts a run queue right after an epoch arms — rotating the speculator
+// from the front to the back — and the commit walk must surface the typed
+// *InvariantError with every speculator drained, not silently corrupt the
+// schedule.
+func TestParallelRoundsSpecFail(t *testing.T) {
+	m := hm.MustMachine(hm.MC3(8))
+	s := NewSim(m, WithParallelRounds(4))
+	v := s.NewI64(1 << 10)
+	root := func(c *Ctx) {
+		// 16 uniform tasks over 8 cores: two strands per queue, so rotating
+		// a queue genuinely changes its front.
+		c.SpawnCGCSB(64, 16, func(cc *Ctx, idx int) {
+			for i := 0; i < 512; i++ {
+				a := v.Base + Addr(idx<<6+i%64)
+				cc.StoreI(a, cc.LoadI(a)+1)
+				cc.Tick(2)
+			}
+		})
+	}
+	corrupted := false
+	s.eng.prSpecHook = func() {
+		if corrupted {
+			return
+		}
+		e := s.eng
+		for c := range e.runq {
+			if e.specOf[c] != nil && e.runq[c].size() >= 2 {
+				e.runq[c].pushBack(e.runq[c].popFront())
+				corrupted = true
+				return
+			}
+		}
+	}
+	_, err := s.TryRunCold(1<<15, root)
+	if !corrupted {
+		t.Fatal("hook never found a speculator with queue depth >= 2 to corrupt")
+	}
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected *InvariantError, got %v", err)
+	}
+	if ie.Name != "parallel-rounds-front" {
+		t.Errorf("invariant name = %q, want parallel-rounds-front", ie.Name)
+	}
+	if s.eng.nspec != 0 {
+		t.Errorf("nspec = %d after specFail, want 0 (speculators drained)", s.eng.nspec)
+	}
+	for c, st := range s.eng.specOf {
+		if st != nil {
+			t.Errorf("specOf[%d] still set after specFail", c)
+		}
 	}
 }
 

@@ -38,11 +38,25 @@ func measureParRounds(t *testing.T, machine string, gc goldenCase, workers int, 
 	return metricsTuple(res)
 }
 
+// forkHeavyPair extends the parallel-rounds matrix and chaos sweep beyond
+// the golden suite: recursive FFT forks a full fan of subproblems at every
+// tree node, and the q8 option set shrinks the quantum so forks land in
+// nearly every round — the admission-heaviest schedule we can drive.  It
+// exercises the deferred-fork replay (speculators surviving their own
+// admissions) far harder than the stock golden cases, whose long pure
+// stretches rarely interleave forks with speculation.
+var forkHeavyPair = struct {
+	machine string
+	gc      goldenCase
+}{"hm5", goldenCase{Algo: "fft", N: 1 << 8, Opt: "q8"}}
+
 // TestParallelRoundsMatchSerialGoldenMatrix: the full golden suite at every
 // worker count, parallel-rounds alone and composed with the replay
-// pipeline.  In -short mode each case keeps one rotating worker count.
+// pipeline, plus the fork-heavy pair.  In -short mode each case keeps one
+// rotating worker count.
 func TestParallelRoundsMatchSerialGoldenMatrix(t *testing.T) {
 	suite := goldenSuite()
+	suite[forkHeavyPair.machine] = append(suite[forkHeavyPair.machine], forkHeavyPair.gc)
 	var machines []string
 	for m := range suite {
 		machines = append(machines, m)
@@ -80,7 +94,11 @@ func TestParallelRoundsMatchSerialGoldenMatrix(t *testing.T) {
 // option's presence alone changes nothing.  -short keeps a rotating pair
 // of seeds per case.
 func TestParallelRoundsChaosSweepMatchesSerial(t *testing.T) {
-	for i, pc := range parallelChaosPairs {
+	pairs := append(append([]struct {
+		machine string
+		gc      goldenCase
+	}{}, parallelChaosPairs...), forkHeavyPair)
+	for i, pc := range pairs {
 		i, pc := i, pc
 		t.Run(pc.machine+"/"+pc.gc.key(), func(t *testing.T) {
 			t.Parallel()

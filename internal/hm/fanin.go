@@ -27,6 +27,7 @@ type fanBuf struct {
 	wrecs  []uint64 // writes only, kept when the replay pipeline shards coherence
 	marks  []int    // end offset in recs of each completed round
 	wmarks []int    // end offset in wrecs of each completed round
+	loaned bool     // arrays handed zero-copy to an epoch dispatch (parsim.go)
 }
 
 // roundFanIn is the fan-in state attached to a Machine while a speculative
@@ -34,6 +35,7 @@ type fanBuf struct {
 type roundFanIn struct {
 	on          bool // intercept Load/Store (speculative phase only)
 	trackWrites bool // parallel replay with coherence shards wants write side-lists
+	epoched     bool // this phase already loaned its arrays to an epoch dispatch
 	bufs        []fanBuf
 }
 
@@ -47,8 +49,19 @@ func (m *Machine) StartRoundFanIn() {
 	}
 	f := m.fan
 	f.trackWrites = m.par != nil && m.par.trackWrites
+	f.epoched = false
 	for c := range f.bufs {
 		b := &f.bufs[c]
+		if b.loaned {
+			// The arrays were handed zero-copy to the replay pipeline by an
+			// epoch dispatch and may still be replaying: swap in arrays the
+			// pipeline has verifiably finished with (reclaimed on the engine
+			// thread from recycled epoch batches), or start empty.
+			b.loaned = false
+			p := m.par
+			b.recs, b.wrecs = p.takeFanU64(), p.takeFanU64()
+			b.marks, b.wmarks = p.takeFanInts(), p.takeFanInts()
+		}
 		b.recs, b.wrecs = b.recs[:0], b.wrecs[:0]
 		b.marks, b.wmarks = b.marks[:0], b.wmarks[:0]
 	}
@@ -119,6 +132,43 @@ func (m *Machine) FlushFanChunk(core, round int) {
 	}
 	for _, rec := range recs {
 		m.access(core, Addr(rec>>1), rec&1 != 0)
+	}
+}
+
+// FlushFanRounds applies the recorded chunks of every listed core for the
+// whole round range [lo, hi) — rmax complete rounds bulk-committed by the
+// engine — in (round, core) lexicographic order, the serial interleaving.
+// cores must be in ascending order (the engine's turn order within a
+// round).  With a replay pipeline attached the first bulk range of a phase
+// dispatches as one zero-copy epoch batch (dispatchFanEpoch); later ranges
+// of the same phase fall back to per-chunk bulk appends, because the
+// arrays can only be loaned out once per phase.
+func (m *Machine) FlushFanRounds(cores []int, lo, hi int) {
+	f := m.fan
+	if m.par != nil {
+		if !f.epoched {
+			if n := m.par.dispatchFanEpoch(f, cores, lo, hi); n > 0 {
+				f.epoched = true
+				// Mirror the record-time counting of the Load/Store fast
+				// path, like FlushFanChunk does.
+				m.Accesses += n
+			}
+			return
+		}
+		for r := lo; r < hi; r++ {
+			for _, c := range cores {
+				m.FlushFanChunk(c, r)
+			}
+		}
+		return
+	}
+	for r := lo; r < hi; r++ {
+		for _, c := range cores {
+			recs, _ := f.fanChunk(c, r)
+			for _, rec := range recs {
+				m.access(c, Addr(rec>>1), rec&1 != 0)
+			}
+		}
 	}
 }
 

@@ -64,6 +64,11 @@ const (
 	// parMaxBatches bounds in-flight batches; once the pipeline is this far
 	// behind, the recording thread blocks on the recycle list.
 	parMaxBatches = 8
+	// parMaxEpochBatches bounds in-flight epoch batches (zero-copy loans of
+	// fan-in arrays, dispatchFanEpoch).  They recycle through their own free
+	// list: their segments alias loaned arrays, so they must never enter the
+	// regular batch pool.
+	parMaxEpochBatches = 4
 )
 
 // parSeg is a maximal run of consecutive accesses issued by one core.
@@ -84,13 +89,57 @@ type parSeg struct {
 
 // parBatch is the unit of pipeline work: sealed segments plus, per segment,
 // the records that missed every shard level (filled by the owning shard,
-// consumed in order by the chain worker).
+// consumed in order by the chain worker).  When ep is non-nil the batch is
+// an epoch batch: segs/nseg/nrec are unused and the work is the loaned
+// fan-in chunk grid described by ep, with out indexed by chunk.
 type parBatch struct {
 	segs  []*parSeg
 	nseg  int
 	nrec  int
 	out   [][]uint64
+	ep    *fanEpoch
 	fence chan struct{} // non-nil marks a drain fence, not data
+}
+
+// fanEpoch is a zero-copy loan of fan-in recording arrays (fanin.go) into
+// the pipeline: the chunks of rounds [lo, hi) for the listed cores, sliced
+// on demand from the loaned arrays via the recorded round marks.  The arrays
+// are read-only while loaned (the engine thread may itself still read later
+// chunks of the same arrays through FlushFanChunk); the recording side only
+// writes to fresh arrays after StartRoundFanIn swaps the loaned ones out.
+// Chunk k = (r-lo)*len(cores) + ci is core cores[ci]'s round-r chunk —
+// (round, core) lexicographic, the serial commit order.
+type fanEpoch struct {
+	cores  []int
+	lo, hi int
+	recs   [][]uint64 // [ci]: loaned record array of cores[ci]
+	wrecs  [][]uint64 // [ci]: loaned write side-list, trackWrites only
+	marks  [][]int    // [ci]: loaned round marks
+	wmarks [][]int    // [ci]: loaned write-side round marks, trackWrites only
+}
+
+func (ep *fanEpoch) nchunks() int { return (ep.hi - ep.lo) * len(ep.cores) }
+
+// chunk slices core cores[ci]'s records for absolute round r from the
+// loaned arrays, exactly as roundFanIn.fanChunk would.  Bulk ranges cover
+// only completed rounds, so r < len(marks) always.
+func (ep *fanEpoch) chunk(ci, r int) []uint64 {
+	marks := ep.marks[ci]
+	lo := 0
+	if r > 0 {
+		lo = marks[r-1]
+	}
+	return ep.recs[ci][lo:marks[r]]
+}
+
+// wchunk is chunk over the writes-only side list.
+func (ep *fanEpoch) wchunk(ci, r int) []uint64 {
+	wmarks := ep.wmarks[ci]
+	lo := 0
+	if r > 0 {
+		lo = wmarks[r-1]
+	}
+	return ep.wrecs[ci][lo:wmarks[r]]
 }
 
 type parTask struct {
@@ -122,9 +171,15 @@ type parSim struct {
 	shards []*parShard
 
 	// Recording state (execution thread only).
-	cur    *parSeg
-	b      *parBatch
-	nalloc int
+	cur     *parSeg
+	b       *parBatch
+	nalloc  int
+	nallocE int
+	// Array pools harvested from recycled epoch batches (execution thread
+	// only): proven-quiescent former fan-in arrays, handed back to
+	// StartRoundFanIn as replacements for freshly loaned ones.
+	fanU64  [][]uint64
+	fanInts [][]int
 
 	// Pipeline state.
 	started  bool
@@ -133,6 +188,7 @@ type parSim struct {
 	taskCh   chan parTask   // shard fan-out
 	chainCh  chan *parBatch // batches with shard replay done, still in order
 	freeB    chan *parBatch // recycled batches
+	freeE    chan *parBatch // recycled epoch batches (loaned arrays attached)
 	wg       sync.WaitGroup
 }
 
@@ -160,6 +216,7 @@ func (m *Machine) EnableParallelReplay(workers int) {
 	p := &parSim{m: m, workers: workers, split: split}
 	p.trackWrites = m.Cfg.Coherence && split > 0
 	p.freeB = make(chan *parBatch, parMaxBatches)
+	p.freeE = make(chan *parBatch, parMaxEpochBatches)
 	if split > 0 {
 		nsh := len(m.ByLevel[split-1])
 		coresPer := m.Cores() / nsh
@@ -306,6 +363,112 @@ func (p *parSim) takeBatch() *parBatch {
 	return b
 }
 
+// dispatchFanEpoch hands a whole bulk-committed epoch — the chunks of
+// rounds [lo, hi) for the given cores — to the pipeline as one zero-copy
+// batch, instead of the engine thread re-walking chunk boundaries and
+// copying each chunk into segments via recordBulk.  Returns the number of
+// records dispatched (0 for an all-empty range, in which case nothing is
+// loaned).  Execution thread only.
+func (p *parSim) dispatchFanEpoch(f *roundFanIn, cores []int, lo, hi int) int64 {
+	var total int64
+	for _, c := range cores {
+		b := &f.bufs[c]
+		start := 0
+		if lo > 0 {
+			start = b.marks[lo-1]
+		}
+		total += int64(b.marks[hi-1] - start)
+	}
+	if total == 0 {
+		return 0
+	}
+	// Seal and dispatch the open regular batch first: pending is FIFO, and
+	// the epoch's records must reach every cache after all earlier ones.
+	if p.cur != nil {
+		p.b.nrec += len(p.cur.recs)
+		p.cur = nil
+	}
+	if p.b != nil && p.b.nseg > 0 {
+		b := p.b
+		p.b = nil
+		p.dispatch(b)
+	}
+	eb := p.takeEpochBatch()
+	ep := eb.ep
+	ep.cores = append(ep.cores[:0], cores...)
+	ep.lo, ep.hi = lo, hi
+	ep.recs, ep.wrecs = ep.recs[:0], ep.wrecs[:0]
+	ep.marks, ep.wmarks = ep.marks[:0], ep.wmarks[:0]
+	for _, c := range cores {
+		b := &f.bufs[c]
+		b.loaned = true
+		ep.recs = append(ep.recs, b.recs)
+		ep.marks = append(ep.marks, b.marks)
+		if f.trackWrites {
+			ep.wrecs = append(ep.wrecs, b.wrecs)
+			ep.wmarks = append(ep.wmarks, b.wmarks)
+		}
+	}
+	p.dispatch(eb)
+	return total
+}
+
+// takeEpochBatch returns a recycled epoch batch (harvesting its loaned
+// arrays into the fan-array pools first), or a fresh one while under the
+// epoch cap; at the cap it blocks until the chain worker recycles one.
+func (p *parSim) takeEpochBatch() *parBatch {
+	if p.nallocE < parMaxEpochBatches {
+		select {
+		case b := <-p.freeE:
+			p.reclaimEpoch(b)
+			return b
+		default:
+			p.nallocE++
+			return &parBatch{ep: &fanEpoch{}}
+		}
+	}
+	b := <-p.freeE
+	p.reclaimEpoch(b)
+	return b
+}
+
+// reclaimEpoch harvests a recycled epoch batch's loaned arrays into the
+// fan-array pools.  The batch came back through freeE, so the whole
+// pipeline is provably done reading them; the recording side stopped
+// writing them when StartRoundFanIn swapped them out of the fan buffers.
+func (p *parSim) reclaimEpoch(b *parBatch) {
+	ep := b.ep
+	p.fanU64 = append(p.fanU64, ep.recs...)
+	p.fanU64 = append(p.fanU64, ep.wrecs...)
+	p.fanInts = append(p.fanInts, ep.marks...)
+	p.fanInts = append(p.fanInts, ep.wmarks...)
+	ep.recs, ep.wrecs = ep.recs[:0], ep.wrecs[:0]
+	ep.marks, ep.wmarks = ep.marks[:0], ep.wmarks[:0]
+}
+
+// takeFanU64 pops a pooled record array for StartRoundFanIn (nil when the
+// pool is empty — the fan buffer then grows a fresh one by appending).
+func (p *parSim) takeFanU64() []uint64 {
+	if n := len(p.fanU64); n > 0 {
+		a := p.fanU64[n-1]
+		p.fanU64[n-1] = nil
+		p.fanU64 = p.fanU64[:n-1]
+		return a[:0]
+	}
+	return nil
+}
+
+// takeFanInts is takeFanU64 for mark arrays.
+func (p *parSim) takeFanInts() []int {
+	if n := len(p.fanInts); n > 0 {
+		a := p.fanInts[n-1]
+		p.fanInts[n-1] = nil
+		p.fanInts = p.fanInts[:n-1]
+		return a[:0]
+	}
+	return nil
+}
+
 func (p *parSim) dispatch(b *parBatch) {
 	if !p.started {
 		p.start()
@@ -346,8 +509,12 @@ func (p *parSim) dispatchLoop() {
 	}
 	var wg sync.WaitGroup
 	for b := range p.pending {
-		if b.fence == nil && b.nseg > 0 && len(p.shards) > 0 {
-			for len(b.out) < b.nseg {
+		n := b.nseg
+		if b.ep != nil {
+			n = b.ep.nchunks()
+		}
+		if b.fence == nil && n > 0 && len(p.shards) > 0 {
+			for len(b.out) < n {
 				b.out = append(b.out, nil)
 			}
 			if p.nworkers == 1 {
@@ -386,6 +553,33 @@ func (p *parSim) chainLoop() {
 	for b := range p.chainCh {
 		if b.fence != nil {
 			close(b.fence)
+			continue
+		}
+		if b.ep != nil {
+			ep := b.ep
+			nc := len(ep.cores)
+			sharded := len(p.shards) > 0
+			for r := ep.lo; r < ep.hi; r++ {
+				for ci := range ep.cores {
+					k := (r-ep.lo)*nc + ci
+					recs := ep.chunk(ci, r)
+					if sharded {
+						recs = b.out[k]
+					}
+					for _, rec := range recs {
+						a, write := int64(rec>>1), rec&1 != 0
+						for i := p.split; i < h1; i++ {
+							if m.ByLevel[i][0].access(a>>m.shift[i], write) {
+								break
+							}
+						}
+					}
+					if sharded {
+						b.out[k] = b.out[k][:0]
+					}
+				}
+			}
+			p.freeE <- b // never blocks: nallocE <= parMaxEpochBatches == cap
 			continue
 		}
 		for k := 0; k < b.nseg; k++ {
@@ -459,11 +653,15 @@ func (p *parSim) resetHolders() {
 // contribute only their writes, as coherence invalidations.  Segments are
 // visited in batch order = global issue order.
 func (sh *parShard) run(b *parBatch) {
+	if b.ep != nil {
+		sh.runEpoch(b)
+		return
+	}
 	coherent := sh.holders != nil
 	for k := 0; k < b.nseg; k++ {
 		seg := b.segs[k]
 		if seg.core >= sh.coreLo && seg.core < sh.coreHi {
-			sh.runOwn(b, k, seg)
+			sh.runOwnRecs(b, k, seg.core, seg.recs)
 		} else if coherent {
 			for _, rec := range seg.wrecs {
 				sh.invalidateLocal(nil, int64(rec>>1))
@@ -472,18 +670,40 @@ func (sh *parShard) run(b *parBatch) {
 	}
 }
 
-// runOwn mirrors the level loop of Machine.access over the shard's levels,
-// collecting records that miss every one of them for the chain worker.
-func (sh *parShard) runOwn(b *parBatch, k int, seg *parSeg) {
+// runEpoch is run over an epoch batch: the chunk grid is walked in
+// (round, core) order — the serial interleaving — slicing each chunk
+// straight out of the loaned fan-in arrays.  Own-core chunks replay the
+// shard levels; foreign chunks contribute their writes as invalidations.
+func (sh *parShard) runEpoch(b *parBatch) {
+	ep := b.ep
+	coherent := sh.holders != nil
+	nc := len(ep.cores)
+	for r := ep.lo; r < ep.hi; r++ {
+		for ci, core := range ep.cores {
+			if core >= sh.coreLo && core < sh.coreHi {
+				sh.runOwnRecs(b, (r-ep.lo)*nc+ci, core, ep.chunk(ci, r))
+			} else if coherent {
+				for _, rec := range ep.wchunk(ci, r) {
+					sh.invalidateLocal(nil, int64(rec>>1))
+				}
+			}
+		}
+	}
+}
+
+// runOwnRecs mirrors the level loop of Machine.access over the shard's
+// levels, collecting records that miss every one of them into b.out[k] for
+// the chain worker.
+func (sh *parShard) runOwnRecs(b *parBatch, k, core int, recs []uint64) {
 	m := sh.sim.m
-	path := m.path[seg.core]
+	path := m.path[core]
 	coherent := sh.holders != nil
 	var own []uint64
 	if coherent {
-		own = sh.ownLocal[seg.core-sh.coreLo]
+		own = sh.ownLocal[core-sh.coreLo]
 	}
 	out := b.out[k][:0]
-	for _, rec := range seg.recs {
+	for _, rec := range recs {
 		a, write := int64(rec>>1), rec&1 != 0
 		hit := false
 		for i := 0; i < sh.levels; i++ {
