@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all test bench bench-smoke tables examples vet oblivcheck lint cover race race-parallel failure-sweep fuzz soak profile profile-rounds sweep sweep-smoke clean
+.PHONY: all test bench bench-smoke tables examples vet oblivcheck trace-check lint cover race race-parallel failure-sweep fuzz soak profile profile-rounds sweep sweep-smoke clean
 
 all: vet test
 
@@ -18,10 +18,20 @@ vet:
 	$(GO) vet ./...
 
 # Build the repo's vettool and run the oblivcheck suite (obliviousness,
-# determinism, hint hygiene) over every package.  See DESIGN.md §9.
+# determinism, hint hygiene, data-obliviousness, speculation safety) over
+# every package.  See DESIGN.md §9.
 oblivcheck:
 	$(GO) build -o bin/oblivcheck ./cmd/oblivcheck
 	$(GO) vet -vettool=$(CURDIR)/bin/oblivcheck ./...
+
+# Trace-equality gate, the dynamic half of the data-obliviousness
+# enforcement (DESIGN.md §9): every kernel in an //oblivcheck:dataoblivious
+# package must produce an identical memory-access trace on two different
+# random inputs of the same shape, the value-dependent kernels (sort,
+# listrank) must not, and an injected secret-dependent branch must be
+# caught.  Run under the race detector.
+trace-check:
+	$(GO) test -race -run 'TestTrace' -count=1 ./internal/harness ./internal/hm
 
 # One-shot static-check entry point: formatting + go vet + oblivcheck, plus
 # staticcheck when it is installed (CI pins and installs it; local trees

@@ -1,7 +1,9 @@
-// Command oblivcheck is the repository's vettool: it runs the three
+// Command oblivcheck is the repository's vettool: it runs the five
 // static analyzers of internal/analysis (oblivious, determinism,
-// hinthygiene) over every package, enforcing the paper's obliviousness
-// boundary and the engine's determinism contract at vet time.
+// hinthygiene, dataoblivious, specsafe) over every package, enforcing the
+// paper's obliviousness boundary, the engine's determinism contract, the
+// data-obliviousness of annotated kernels and the speculation-safety rule
+// of DESIGN.md §11 at vet time.
 //
 // It speaks cmd/go's vettool protocol directly — the same JSON unit-config
 // exchange golang.org/x/tools' unitchecker implements — using only the

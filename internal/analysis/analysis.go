@@ -1,5 +1,5 @@
 // Package analysis is a small, stdlib-only static-analysis framework plus
-// the three oblivcheck analyzers that enforce this repository's paper
+// the five oblivcheck analyzers that enforce this repository's paper
 // invariants at compile time:
 //
 //   - oblivious: algorithm packages never see machine parameters
@@ -8,7 +8,14 @@
 //     unseeded randomness, no map-iteration order, no sync.Map, and spawns
 //     no goroutines outside the sanctioned native/parsim entry points,
 //   - hinthygiene: every forked Task carries a non-constant space bound and
-//     every engine-side join is waited on all control paths.
+//     every engine-side join is waited on all control paths,
+//   - dataoblivious: packages opting in with //oblivcheck:dataoblivious
+//     make no secret-dependent branches, indices, slice bounds, addresses,
+//     PFor trip counts or Space hints (//oblivcheck:secret tags name the secret
+//     parameters; the trace-equality harness is the runtime cross-check),
+//   - specsafe: scheduler-state reads reachable from speculative strand
+//     context inside internal/core are dominated by c.serialize() or
+//     guarded by st.spec (DESIGN.md §11).
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis (Analyzer,
 // Pass, Diagnostic) so the suite can migrate to the real framework if the
@@ -65,7 +72,16 @@ type Pass struct {
 	Path string
 
 	diags  *[]Diagnostic
-	allows map[string]map[int][]string // filename -> line -> analyzers allowed
+	allows map[string]map[int][]*allowAnn // filename -> line -> annotations
+}
+
+// allowAnn is one //oblivcheck:allow annotation; used tracks whether it
+// actually suppressed a finding, so stale exemptions are reported instead
+// of rotting in place.
+type allowAnn struct {
+	name string // analyzer the annotation names
+	pos  token.Pos
+	used bool
 }
 
 // Reportf records a finding unless an //oblivcheck:allow annotation for
@@ -83,14 +99,14 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers is the full oblivcheck suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Oblivious, Determinism, HintHygiene}
+	return []*Analyzer{Oblivious, Determinism, HintHygiene, DataOblivious, SpecSafe}
 }
 
 // Run applies every analyzer in suite to one type-checked package and
 // returns the findings sorted by position.
 func Run(suite []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, path string) []Diagnostic {
 	var diags []Diagnostic
-	allows := collectAllows(fset, files, &diags)
+	allows, allAnns := collectAllows(fset, files, &diags)
 	for _, a := range suite {
 		pass := &Pass{
 			Analyzer:  a,
@@ -104,8 +120,29 @@ func Run(suite []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.P
 		}
 		a.Run(pass)
 	}
+	reportUnusedAllows(suite, allAnns, &diags)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 	return diags
+}
+
+// reportUnusedAllows flags annotations that suppressed nothing: the finding
+// they once excused is gone, so the exemption (and its reason) is stale.
+// Only annotations naming an analyzer in the running suite are judged — a
+// single-analyzer run cannot tell whether another analyzer's allow is live.
+func reportUnusedAllows(suite []*Analyzer, allAnns []*allowAnn, diags *[]Diagnostic) {
+	inSuite := make(map[string]bool, len(suite))
+	for _, a := range suite {
+		inSuite[a.Name] = true
+	}
+	for _, ann := range allAnns {
+		if inSuite[ann.name] && !ann.used {
+			*diags = append(*diags, Diagnostic{
+				Pos:      ann.pos,
+				Message:  fmt.Sprintf("unused //oblivcheck:allow %s annotation: no %s finding here to suppress; delete it", ann.name, ann.name),
+				Analyzer: "oblivcheck",
+			})
+		}
+	}
 }
 
 // ---- annotation handling ----
@@ -113,10 +150,13 @@ func Run(suite []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.P
 const allowPrefix = "//oblivcheck:allow"
 
 // collectAllows indexes every //oblivcheck:allow annotation by file and
-// line. Malformed annotations (no analyzer name or no reason) are reported
-// immediately so they cannot silently suppress anything.
-func collectAllows(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) map[string]map[int][]string {
-	out := make(map[string]map[int][]string)
+// line, and returns them again as a flat list in collection order for the
+// unused-annotation sweep. Malformed annotations (no analyzer name or no
+// reason) are reported immediately so they cannot silently suppress
+// anything.
+func collectAllows(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) (map[string]map[int][]*allowAnn, []*allowAnn) {
+	out := make(map[string]map[int][]*allowAnn)
+	var all []*allowAnn
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -142,14 +182,16 @@ func collectAllows(fset *token.FileSet, files []*ast.File, diags *[]Diagnostic) 
 				pos := fset.Position(c.Pos())
 				m := out[pos.Filename]
 				if m == nil {
-					m = make(map[int][]string)
+					m = make(map[int][]*allowAnn)
 					out[pos.Filename] = m
 				}
-				m[pos.Line] = append(m[pos.Line], name)
+				ann := &allowAnn{name: name, pos: c.Pos()}
+				m[pos.Line] = append(m[pos.Line], ann)
+				all = append(all, ann)
 			}
 		}
 	}
-	return out
+	return out, all
 }
 
 // allowedAt reports whether an annotation naming this analyzer sits on the
@@ -161,8 +203,9 @@ func (p *Pass) allowedAt(pos token.Pos) bool {
 		return false
 	}
 	for _, line := range [2]int{where.Line, where.Line - 1} {
-		for _, name := range m[line] {
-			if name == p.Analyzer.Name {
+		for _, ann := range m[line] {
+			if ann.name == p.Analyzer.Name {
+				ann.used = true
 				return true
 			}
 		}

@@ -16,7 +16,13 @@
 // Each backquoted or double-quoted string is a regular expression that
 // must match the message of exactly one finding on that line; findings
 // without a matching expectation, and expectations without a finding, both
-// fail the test.
+// fail the test.  A pattern may pin the finding's column with a `N:`
+// prefix, which disambiguates two findings of the same shape on one line:
+//
+//	a[i] += a[j] // want 4:`secret-derived index` 12:`secret-derived index`
+//
+// Expectations are matched per file, so multi-file fixture packages work:
+// each finding is matched against the wants of the file it occurred in.
 package atest
 
 import (
@@ -149,12 +155,14 @@ func (l *loader) load(path string) (*loadedPkg, error) {
 type want struct {
 	file string
 	line int
+	col  int // 0 = any column
 	rx   *regexp.Regexp
 	text string
 }
 
-// wantRx pulls the quoted expectations out of a `// want` comment.
-var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+// wantRx pulls the quoted expectations — each optionally pinned to a
+// column by a `N:` prefix — out of a `// want` comment.
+var wantRx = regexp.MustCompile("(?:([0-9]+):)?(?:`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\")")
 
 func checkExpectations(t *testing.T, fset *token.FileSet, path string, files []*ast.File, diags []analysis.Diagnostic) {
 	t.Helper()
@@ -168,9 +176,13 @@ func checkExpectations(t *testing.T, fset *token.FileSet, path string, files []*
 				}
 				pos := fset.Position(c.Pos())
 				for _, m := range wantRx.FindAllStringSubmatch(text[len("want "):], -1) {
-					lit := m[1]
-					if m[2] != "" || lit == "" {
-						if unq, err := strconv.Unquote(`"` + m[2] + `"`); err == nil {
+					col := 0
+					if m[1] != "" {
+						col, _ = strconv.Atoi(m[1])
+					}
+					lit := m[2]
+					if m[3] != "" || lit == "" {
+						if unq, err := strconv.Unquote(`"` + m[3] + `"`); err == nil {
 							lit = unq
 						}
 					}
@@ -179,7 +191,7 @@ func checkExpectations(t *testing.T, fset *token.FileSet, path string, files []*
 						t.Errorf("%s: bad want regexp %q: %v", pos, lit, err)
 						continue
 					}
-					wants = append(wants, &want{file: pos.Filename, line: pos.Line, rx: rx, text: lit})
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, col: col, rx: rx, text: lit})
 				}
 			}
 		}
@@ -189,6 +201,9 @@ func checkExpectations(t *testing.T, fset *token.FileSet, path string, files []*
 		matched := false
 		for _, w := range wants {
 			if w.rx == nil || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.col != 0 && w.col != pos.Column {
 				continue
 			}
 			if w.rx.MatchString(d.Message) {
@@ -202,7 +217,12 @@ func checkExpectations(t *testing.T, fset *token.FileSet, path string, files []*
 		}
 	}
 	for _, w := range wants {
-		if w.rx != nil {
+		if w.rx == nil {
+			continue
+		}
+		if w.col != 0 {
+			t.Errorf("%s:%d:%d: expected finding matching %q at this column, got none", w.file, w.line, w.col, w.text)
+		} else {
 			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.text)
 		}
 	}

@@ -1,0 +1,509 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// DataOblivious enforces the Ramachandran–Shi data-obliviousness contract
+// (arXiv 2008.00332) on packages that opt in with a package-level
+//
+//	//oblivcheck:dataoblivious
+//
+// annotation: the memory access trace of an annotated kernel may depend on
+// the *shape* of its input, never on the *values*.  Secret inputs are
+// declared per function with a doc-comment directive naming parameters:
+//
+//	//oblivcheck:secret v
+//	func PrefixSumsI64(c *core.Ctx, v core.I64) { ... }
+//
+// A taint walk from the tagged parameters — values loaded from a secret
+// array or slice are themselves secret, values stored into an array make
+// that array secret — then flags every secret-dependent
+//
+//   - branch (`if`/`for`/`switch` condition),
+//   - index or slice bound (both Go indexing and the core array At/Set/Slice
+//     accessors, plus any core.Addr-typed argument),
+//   - space hint (a Task literal's Space field, a PFor trip count),
+//
+// because each one turns an input value into an observable address stream
+// difference.  The runtime twin is the trace-equality harness
+// (internal/harness, `make trace-check`): two runs on different data of the
+// same shape must produce identical access traces for annotated packages.
+// Register-only value branches that provably touch no memory (a min/max
+// select, say) are trace-invariant yet still flagged here; suppress those
+// with `//oblivcheck:allow dataoblivious: <why the trace cannot differ>`.
+var DataOblivious = &Analyzer{
+	Name: "dataoblivious",
+	Doc:  "annotated packages make no secret-dependent branches, indices, or space hints",
+	Run:  runDataOblivious,
+}
+
+// dataObliviousDirective is the package-level opt-in comment.
+const dataObliviousDirective = "//oblivcheck:dataoblivious"
+
+// secretDirective tags function parameters as secret inputs.  It lives in
+// the oblivcheck: directive namespace so gofmt preserves it verbatim — a
+// bare //secret would be reflowed to "// secret" and silently go dead.
+const secretDirective = "//oblivcheck:secret"
+
+func runDataOblivious(pass *Pass) {
+	if !modulePackage(pass.Path) || !hasDataObliviousDirective(pass) {
+		return
+	}
+	eachSourceFile(pass, func(f *ast.File) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			secrets := secretParams(pass, fd)
+			if len(secrets) == 0 {
+				continue
+			}
+			w := &taintWalker{pass: pass, tainted: secrets}
+			w.fixpoint(fd.Body)
+			w.report(fd.Body)
+		}
+	})
+}
+
+func hasDataObliviousDirective(pass *Pass) bool {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.TrimSpace(c.Text) == dataObliviousDirective {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// secretParams resolves a function's //oblivcheck:secret directive to parameter
+// objects.  Names may be space- or comma-separated; naming something that
+// is not a parameter is itself a finding, so a typo cannot silently
+// un-secret an input.
+func secretParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	if fd.Doc == nil {
+		return nil
+	}
+	var names []string
+	for _, c := range fd.Doc.List {
+		if !strings.HasPrefix(c.Text, secretDirective) {
+			continue
+		}
+		rest := c.Text[len(secretDirective):]
+		if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+			continue // e.g. "//oblivcheck:secretive", not the directive
+		}
+		for _, tok := range strings.FieldsFunc(rest, func(r rune) bool { return r == ' ' || r == '\t' || r == ',' }) {
+			names = append(names, tok)
+		}
+		if len(strings.TrimSpace(rest)) == 0 {
+			pass.Reportf(fd.Pos(), "empty //oblivcheck:secret directive on %s: name the secret parameters, e.g. //oblivcheck:secret v", fd.Name.Name)
+		}
+	}
+	if len(names) == 0 {
+		return nil
+	}
+	params := make(map[string]types.Object)
+	for _, field := range fd.Type.Params.List {
+		for _, id := range field.Names {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				params[id.Name] = obj
+			}
+		}
+	}
+	out := make(map[types.Object]bool)
+	for _, name := range names {
+		obj, ok := params[name]
+		if !ok {
+			pass.Reportf(fd.Pos(), "//oblivcheck:secret names %q, which is not a parameter of %s", name, fd.Name.Name)
+			continue
+		}
+		out[obj] = true
+	}
+	return out
+}
+
+// ---- taint propagation ----
+
+// taintWalker tracks the set of secret-tainted objects inside one function
+// body.  Container-typed objects (core array handles, Go slices, arrays,
+// maps, pointers) carry taint in their *elements*: the handle's shape
+// (length, base address) stays public, loads from it are secret.
+// Scalar-typed objects carry taint in their value.
+type taintWalker struct {
+	pass    *Pass
+	tainted map[types.Object]bool
+	changed bool
+}
+
+// coreArrayNames are the handle types of internal/core's simulated arrays;
+// their At/Set/Slice accessors are the load/store/reslice operations of the
+// model.
+var coreArrayNames = []string{"F64", "I64", "U64", "C128", "Pairs", "Mat"}
+
+// isCoreArray reports whether t is one of the core array handle types.
+func isCoreArray(t types.Type) bool {
+	for _, name := range coreArrayNames {
+		if namedFrom(t, "internal/core", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContainer reports whether taint on an object of type t lives in its
+// elements rather than its value.
+func isContainer(t types.Type) bool {
+	if isCoreArray(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array, *types.Map:
+		return true
+	case *types.Pointer:
+		_ = u
+		return true
+	}
+	return false
+}
+
+// fixpoint iterates taint propagation over the body until no new object is
+// tainted.  The body is small (one kernel), so the quadratic worst case is
+// irrelevant.
+func (w *taintWalker) fixpoint(body *ast.BlockStmt) {
+	for {
+		w.changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				w.propagateAssign(n)
+			case *ast.RangeStmt:
+				w.propagateRange(n)
+			case *ast.GenDecl:
+				w.propagateVarDecl(n)
+			case *ast.CallExpr:
+				w.propagateStore(n)
+			}
+			return true
+		})
+		if !w.changed {
+			return
+		}
+	}
+}
+
+func (w *taintWalker) taint(obj types.Object) {
+	if obj == nil || w.tainted[obj] {
+		return
+	}
+	w.tainted[obj] = true
+	w.changed = true
+}
+
+func (w *taintWalker) lhsObj(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := w.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return w.pass.TypesInfo.Uses[id]
+}
+
+// propagateAssign handles `x = e`, `x := e`, `x[i] = e` and multi-assign.
+func (w *taintWalker) propagateAssign(s *ast.AssignStmt) {
+	// Single call with multiple results: taint every LHS if any arg is.
+	if len(s.Rhs) == 1 && len(s.Lhs) != 1 {
+		if w.exprTainted(s.Rhs[0]) {
+			for _, l := range s.Lhs {
+				w.taint(w.lhsObj(l))
+			}
+		}
+		return
+	}
+	for i, l := range s.Lhs {
+		if i >= len(s.Rhs) {
+			break
+		}
+		if !w.exprTainted(s.Rhs[i]) {
+			continue
+		}
+		switch lhs := ast.Unparen(l).(type) {
+		case *ast.Ident:
+			w.taint(w.lhsObj(lhs))
+		case *ast.IndexExpr:
+			// Storing a secret into a container makes the container secret.
+			w.taint(w.lhsObj(lhs.X))
+		case *ast.StarExpr:
+			w.taint(w.lhsObj(lhs.X))
+		case *ast.SelectorExpr:
+			w.taint(w.lhsObj(lhs.X))
+		}
+	}
+}
+
+// propagateStore taints the receiver of v.Set(c, i..., x) when the stored
+// value x is secret: the call-form store is the core-array analogue of
+// `v[i] = x`.
+func (w *taintWalker) propagateStore(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Set" || len(call.Args) == 0 {
+		return
+	}
+	if t := w.typeOf(sel.X); t == nil || !isCoreArray(t) {
+		return
+	}
+	if w.exprTainted(call.Args[len(call.Args)-1]) {
+		w.taint(w.lhsObj(sel.X))
+	}
+}
+
+// propagateRange taints the value variable when ranging over a secret
+// container; the index is shape (0..n-1), not secret.
+func (w *taintWalker) propagateRange(s *ast.RangeStmt) {
+	if !w.containerTainted(s.X) {
+		return
+	}
+	if s.Value != nil {
+		w.taint(w.lhsObj(s.Value))
+	}
+}
+
+// propagateVarDecl handles `var x = e`.
+func (w *taintWalker) propagateVarDecl(d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for i, name := range vs.Names {
+			if i < len(vs.Values) && w.exprTainted(vs.Values[i]) {
+				w.taint(w.pass.TypesInfo.Defs[name])
+			}
+		}
+	}
+}
+
+// exprTainted reports whether evaluating e yields a secret value (or a
+// secret container — for assignment purposes the two propagate alike).
+func (w *taintWalker) exprTainted(e ast.Expr) bool {
+	return w.valueTainted(e) || w.containerTainted(e)
+}
+
+// valueTainted reports whether e evaluates to a secret *value*.
+func (w *taintWalker) valueTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[e]
+		}
+		return obj != nil && w.tainted[obj] && !isContainer(obj.Type())
+	case *ast.IndexExpr:
+		// A load from a secret container is secret; so is any index
+		// operation on a secret struct/array value.
+		return w.containerTainted(e.X) || w.valueTainted(e.X)
+	case *ast.SelectorExpr:
+		// Fields of a secret struct value are secret; shape fields of a
+		// secret container (v.N, v.Base) are not.
+		return w.valueTainted(e.X)
+	case *ast.StarExpr:
+		return w.containerTainted(e.X) || w.valueTainted(e.X)
+	case *ast.UnaryExpr:
+		return w.valueTainted(e.X)
+	case *ast.BinaryExpr:
+		return w.valueTainted(e.X) || w.valueTainted(e.Y)
+	case *ast.CallExpr:
+		return w.callTainted(e)
+	case *ast.TypeAssertExpr:
+		return w.valueTainted(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if w.exprTainted(elt) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callTainted decides whether a call returns a secret value.
+func (w *taintWalker) callTainted(call *ast.CallExpr) bool {
+	// len/cap of a secret container are shape, not secret.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if id.Name == "len" || id.Name == "cap" {
+			return false
+		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if recvType := w.typeOf(sel.X); recvType != nil && isCoreArray(recvType) {
+			switch sel.Sel.Name {
+			case "At":
+				// A load from a secret core array is secret.
+				return w.containerTainted(sel.X)
+			case "Slice":
+				return false // handled by containerTainted
+			}
+		}
+	}
+	// Conservatively, any other call fed a secret returns a secret: the
+	// helpers kernels actually call (arithmetic, math.*, update specs) are
+	// value-to-value.
+	for _, arg := range call.Args {
+		if w.exprTainted(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// containerTainted reports whether e evaluates to a handle over secret
+// contents.
+func (w *taintWalker) containerTainted(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := w.pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = w.pass.TypesInfo.Defs[e]
+		}
+		return obj != nil && w.tainted[obj] && isContainer(obj.Type())
+	case *ast.SliceExpr:
+		return w.containerTainted(e.X)
+	case *ast.UnaryExpr:
+		return w.containerTainted(e.X)
+	case *ast.StarExpr:
+		return w.containerTainted(e.X)
+	case *ast.CallExpr:
+		// v.Slice(lo, hi) of a secret array is a secret sub-array; so are a
+		// secret matrix's Sub blocks and Row views.
+		if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+			switch sel.Sel.Name {
+			case "Slice", "Sub", "Row":
+				if t := w.typeOf(sel.X); t != nil && isCoreArray(t) {
+					return w.containerTainted(sel.X)
+				}
+			}
+		}
+	}
+	return false
+}
+
+func (w *taintWalker) typeOf(e ast.Expr) types.Type {
+	if tv, ok := w.pass.TypesInfo.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// ---- sinks ----
+
+// report walks the body once after the fixpoint and flags every sink fed a
+// secret.
+func (w *taintWalker) report(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if n.Cond != nil && w.valueTainted(n.Cond) {
+				w.pass.Reportf(n.Cond.Pos(),
+					"secret-dependent branch: the condition derives from an //oblivcheck:secret input, so the access trace depends on data values")
+			}
+		case *ast.ForStmt:
+			if n.Cond != nil && w.valueTainted(n.Cond) {
+				w.pass.Reportf(n.Cond.Pos(),
+					"secret-dependent loop bound: the condition derives from an //oblivcheck:secret input, so the trip count depends on data values")
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && w.valueTainted(n.Tag) {
+				w.pass.Reportf(n.Tag.Pos(),
+					"secret-dependent switch: the tag derives from an //oblivcheck:secret input, so the access trace depends on data values")
+			}
+		case *ast.IndexExpr:
+			if w.valueTainted(n.Index) {
+				w.pass.Reportf(n.Index.Pos(),
+					"secret-derived index: the subscript derives from an //oblivcheck:secret input, so the address stream depends on data values")
+			}
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{n.Low, n.High, n.Max} {
+				if b != nil && w.valueTainted(b) {
+					w.pass.Reportf(b.Pos(),
+						"secret-derived slice bound: the bound derives from an //oblivcheck:secret input, so the address stream depends on data values")
+				}
+			}
+		case *ast.CallExpr:
+			w.reportCall(n)
+		case *ast.CompositeLit:
+			w.reportTaskSpace(n)
+		}
+		return true
+	})
+}
+
+// reportCall flags secret indices handed to the core accessors and secret
+// addresses or trip counts handed to any call.
+func (w *taintWalker) reportCall(call *ast.CallExpr) {
+	sel, _ := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	coreAccessor := false
+	if sel != nil {
+		if t := w.typeOf(sel.X); t != nil && isCoreArray(t) {
+			switch sel.Sel.Name {
+			case "At", "Set", "Slice", "Sub", "Row":
+				coreAccessor = true
+			}
+		}
+	}
+	for i, arg := range call.Args {
+		if coreAccessor && sel.Sel.Name == "Set" && i == len(call.Args)-1 {
+			continue // Set's final argument is the stored value, not an index
+		}
+		t := w.typeOf(arg)
+		switch {
+		case t != nil && (namedFrom(t, "internal/core", "Addr") || namedFrom(t, "internal/hm", "Addr")) && w.valueTainted(arg):
+			w.pass.Reportf(arg.Pos(),
+				"secret-derived address: a core.Addr computed from an //oblivcheck:secret input reaches a memory operation")
+		case coreAccessor && t != nil && isIntType(t) && w.valueTainted(arg):
+			w.pass.Reportf(arg.Pos(),
+				"secret-derived index: %s.%s is given a subscript computed from an //oblivcheck:secret input", types.ExprString(sel.X), sel.Sel.Name)
+		case sel != nil && sel.Sel.Name == "PFor" && t != nil && isIntType(t) && w.valueTainted(arg):
+			w.pass.Reportf(arg.Pos(),
+				"secret-dependent PFor trip count: the parallel loop's size derives from an //oblivcheck:secret input")
+		}
+	}
+}
+
+func isIntType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// reportTaskSpace flags a core.Task literal whose Space hint is secret: the
+// SB scheduler's placement (hence the whole trace) would depend on data.
+func (w *taintWalker) reportTaskSpace(lit *ast.CompositeLit) {
+	tv, ok := w.pass.TypesInfo.Types[lit]
+	if !ok || !namedFrom(tv.Type, "internal/core", "Task") {
+		return
+	}
+	for i, elt := range lit.Elts {
+		var space ast.Expr
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Space" {
+				space = kv.Value
+			}
+		} else if i == 0 {
+			space = elt
+		}
+		if space != nil && w.valueTainted(space) {
+			w.pass.Reportf(space.Pos(),
+				"secret-dependent Space hint: the SB scheduler would place this task (and shape the trace) based on an //oblivcheck:secret input")
+		}
+	}
+}

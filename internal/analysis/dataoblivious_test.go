@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"oblivhm/internal/analysis"
+	"oblivhm/internal/analysis/atest"
+)
+
+func TestDataObliviousAnalyzer(t *testing.T) {
+	atest.Run(t, "testdata", analysis.DataOblivious,
+		"oblivhm/internal/dofix", // taint walk: branches, indices, addresses, space hints
+	)
+}

@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"strings"
 	"testing"
 )
@@ -81,7 +82,7 @@ func parseAllowSrc(t *testing.T) (*token.FileSet, []*ast.File) {
 func TestCollectAllows(t *testing.T) {
 	fset, files := parseAllowSrc(t)
 	var diags []Diagnostic
-	allows := collectAllows(fset, files, &diags)
+	allows, _ := collectAllows(fset, files, &diags)
 
 	// The two malformed annotations are themselves findings.
 	if len(diags) != 2 {
@@ -97,10 +98,10 @@ func TestCollectAllows(t *testing.T) {
 	if m == nil {
 		t.Fatal("no allow entries recorded for allow.go")
 	}
-	if got := m[3]; len(got) != 1 || got[0] != "determinism" {
+	if got := m[3]; len(got) != 1 || got[0].name != "determinism" {
 		t.Errorf("line 3 allows = %v, want [determinism]", got)
 	}
-	if got := m[15]; len(got) != 1 || got[0] != "determinism" {
+	if got := m[15]; len(got) != 1 || got[0].name != "determinism" {
 		t.Errorf("line 15 allows = %v, want [determinism]", got)
 	}
 }
@@ -108,11 +109,12 @@ func TestCollectAllows(t *testing.T) {
 func TestAllowedAtCoversLineAndLineAbove(t *testing.T) {
 	fset, files := parseAllowSrc(t)
 	var diags []Diagnostic
+	allows, _ := collectAllows(fset, files, &diags)
 	pass := &Pass{
 		Analyzer: Determinism,
 		Fset:     fset,
 		diags:    &diags,
-		allows:   collectAllows(fset, files, &diags),
+		allows:   allows,
 	}
 	base := fset.File(files[0].Pos())
 	diags = diags[:0] // discard the malformed-annotation findings for this check
@@ -128,5 +130,45 @@ func TestAllowedAtCoversLineAndLineAbove(t *testing.T) {
 	pass.Reportf(base.LineStart(7), "oblivious annotation must not cover determinism")
 	if len(diags) != 1 {
 		t.Errorf("mismatched analyzer name must not suppress, got %v", diags)
+	}
+}
+
+// TestUnusedAllowReported covers the stale-exemption sweep: an annotation
+// that suppresses nothing is itself a finding — but only when the analyzer
+// it names is part of the running suite, so single-analyzer runs (atest)
+// cannot misjudge another analyzer's annotations.
+func TestUnusedAllowReported(t *testing.T) {
+	const src = `package p
+
+//oblivcheck:allow determinism: nothing left here to excuse
+var x = 1
+`
+	check := func(suite []*Analyzer) []Diagnostic {
+		t.Helper()
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files := []*ast.File{f}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		}
+		pkg, err := (&types.Config{}).Check("oblivhm/internal/p", fset, files, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(suite, fset, files, pkg, info, "oblivhm/internal/p")
+	}
+
+	diags := check([]*Analyzer{Determinism})
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "unused //oblivcheck:allow determinism") {
+		t.Errorf("suite containing determinism: got %v, want one unused-allow finding", diags)
+	}
+	if diags := check([]*Analyzer{Oblivious}); len(diags) != 0 {
+		t.Errorf("suite without determinism must not judge its allows, got %v", diags)
 	}
 }

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"oblivhm/internal/analysis"
+	"oblivhm/internal/analysis/atest"
+)
+
+func TestSpecSafeAnalyzer(t *testing.T) {
+	atest.Run(t, "testdata", analysis.SpecSafe,
+		"oblivhm/internal/core/specfix", // serialize domination, spec guards, entry-state meet
+	)
+}

@@ -1,0 +1,115 @@
+package specfix
+
+// Bad reads engine state straight off the speculative path.
+func (c *Ctx) Bad() int64 {
+	return c.s.eng.clock // want `engine\.clock`
+}
+
+// Good serializes first: everything after the barrier runs in the serial
+// phase.
+func (c *Ctx) Good() int64 {
+	c.serialize()
+	return c.s.eng.clock
+}
+
+// Stale charges after serializing: the strand may suspend and resume as a
+// speculator, so the earlier serialize no longer covers the read.
+func (c *Ctx) Stale() int64 {
+	c.serialize()
+	c.st.charge(1)
+	return c.s.eng.clock // want `engine\.clock`
+}
+
+// Config reads safelisted configuration, fine at any state.
+func (c *Ctx) Config() bool {
+	return c.s.eng.flat && c.s.eng.steal
+}
+
+// GuardPos: inside `if st.spec` the strand is definitely speculating; once
+// the guarded branch returns, the fall-through side definitely is not.
+func (c *Ctx) GuardPos() int {
+	if st := c.st; st != nil && st.spec {
+		return c.s.eng.live // want `engine\.live`
+	}
+	return c.s.eng.live
+}
+
+// GuardNeg: the then-branch of `!st.spec` is non-speculating; the
+// fall-through after it may be speculating.
+func (c *Ctx) GuardNeg() int {
+	if !c.st.spec {
+		return c.s.eng.live
+	}
+	return c.s.eng.live // want `engine\.live`
+}
+
+// WaitJoin mirrors the PR 7 bug shape: join state follows the same rule.
+func (c *Ctx) WaitJoin(jn *join) {
+	if jn.pending != 0 { // want `join\.pending`
+		c.st.park()
+	}
+	c.serialize()
+	if jn.pending != 0 {
+		c.st.park()
+	}
+}
+
+// CallsHelperUnsafe and CallsHelperSafe reach helper from an unserialized
+// and a serialized site; the entry-state meet keeps the worst one, so the
+// read inside helper is flagged.
+func (c *Ctx) CallsHelperUnsafe() int { return c.helper() }
+
+func (c *Ctx) CallsHelperSafe() int {
+	c.serialize()
+	return c.helper()
+}
+
+func (c *Ctx) helper() int {
+	return c.s.eng.live // want `engine\.live`
+}
+
+// CallsOnlySafe reaches onlySafe from serialized sites only, so its body
+// checks clean under that privilege.
+func (c *Ctx) CallsOnlySafe() int {
+	c.serialize()
+	return c.onlySafe()
+}
+
+func (c *Ctx) onlySafe() int {
+	return c.s.eng.live
+}
+
+// DeferredFork: closures handed to deferFork run on the engine thread
+// during the commit walk, so they are exempt.
+func (c *Ctx) DeferredFork() {
+	if st := c.st; st != nil && st.spec {
+		st.deferFork(func(cc *Ctx) {
+			cc.s.eng.live++
+		})
+		return
+	}
+	c.s.eng.live++
+}
+
+// Closure: any other function literal may become a forked strand's root
+// and speculate, whatever the state at its creation site.
+func (c *Ctx) Closure() func() int {
+	c.serialize()
+	return func() int {
+		return c.s.eng.live // want `engine\.live`
+	}
+}
+
+// RunTask: a dynamic call reaches algorithm code, which charges on every
+// access — the serialization is gone by the time control returns.
+func (c *Ctx) RunTask(t Task) int {
+	c.serialize()
+	t.Fn(c)
+	return c.s.eng.live // want `engine\.live`
+}
+
+// Allowed demonstrates the escape hatch with a documented reason.
+func (c *Ctx) Allowed() int64 {
+	//oblivcheck:allow specsafe: fixture exercising the escape hatch
+	return c.s.eng.clock
+}

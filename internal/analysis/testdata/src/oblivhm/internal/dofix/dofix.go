@@ -1,0 +1,173 @@
+// Package dofix exercises the dataoblivious analyzer: a package that opts
+// in with the directive below may make no secret-dependent branches,
+// indices, slice bounds, addresses, or space hints.
+package dofix
+
+//oblivcheck:dataoblivious
+
+import "oblivhm/internal/core"
+
+// ShapeOnly is the clean baseline: the loop bound v.N is shape, not
+// secret, and values only flow into arithmetic.
+//
+//oblivcheck:secret v
+func ShapeOnly(c *core.Ctx, v core.I64) int64 {
+	var sum int64
+	for i := 0; i < v.N; i++ {
+		sum += v.At(c, i)
+	}
+	return sum
+}
+
+// Branch tests a value loaded from the secret array.
+//
+//oblivcheck:secret v
+func Branch(c *core.Ctx, v core.I64) int64 {
+	x := v.At(c, 0)
+	if x > 0 { // want `secret-dependent branch`
+		return 1
+	}
+	return 0
+}
+
+// LoopBound trips on a secret-derived trip count.
+//
+//oblivcheck:secret v
+func LoopBound(c *core.Ctx, v core.I64) {
+	n := v.At(c, 0)
+	for i := int64(0); i < n; i++ { // want `secret-dependent loop bound`
+		_ = i
+	}
+}
+
+// SwitchTag switches on a secret load.
+//
+//oblivcheck:secret v
+func SwitchTag(c *core.Ctx, v core.I64) {
+	switch v.At(c, 1) { // want `secret-dependent switch`
+	}
+}
+
+// CoreIndex hands a secret-derived subscript to a core accessor.
+//
+//oblivcheck:secret v
+func CoreIndex(c *core.Ctx, v core.I64, dst core.I64) {
+	k := int(v.At(c, 0))
+	dst.Set(c, k, 1) // want `secret-derived index: dst\.Set`
+}
+
+// CoreSliceBound reslices by a secret-derived bound.
+//
+//oblivcheck:secret v
+func CoreSliceBound(c *core.Ctx, v core.I64, dst core.I64) core.I64 {
+	k := int(v.At(c, 0))
+	return dst.Slice(0, k) // want `secret-derived index: dst\.Slice`
+}
+
+// GoIndex covers native Go containers: values loaded from a secret slice
+// are secret, and a secret subscript is an address-stream leak.  The
+// column pins keep the two same-line findings apart.
+//
+//oblivcheck:secret xs
+func GoIndex(xs []int64, out []int64) {
+	i := xs[0]
+	j := xs[1]
+	out[i] = out[j] // want 6:`secret-derived index` 15:`secret-derived index`
+}
+
+// GoSliceBound reslices a Go slice by a secret bound.
+//
+//oblivcheck:secret xs
+func GoSliceBound(xs []int64) []int64 {
+	k := int(xs[0])
+	return xs[:k] // want `secret-derived slice bound`
+}
+
+// AddrSink computes a raw address from a secret value.
+//
+//oblivcheck:secret v
+func AddrSink(c *core.Ctx, v core.I64) int64 {
+	a := core.Addr(v.At(c, 2))
+	return c.LoadI(a) // want `secret-derived address`
+}
+
+// TripCount forks a parallel loop whose width is secret.
+//
+//oblivcheck:secret v
+func TripCount(c *core.Ctx, v core.I64) {
+	n := int(v.At(c, 0))
+	c.PFor(0, n, 8, func(cc *core.Ctx, i int) { _ = i }) // want `secret-dependent PFor trip count`
+}
+
+// SpaceHint declares a task space bound derived from a secret: the SB
+// scheduler would place the task (and shape the trace) based on data.
+//
+//oblivcheck:secret v
+func SpaceHint(c *core.Ctx, v core.I64) {
+	s := v.At(c, 0)
+	c.SpawnSB(core.Task{Space: s, Fn: func(cc *core.Ctx) {}}) // want `secret-dependent Space hint`
+}
+
+// StoreTaint: storing a secret into a container taints the container, and
+// loads from it stay secret.
+//
+//oblivcheck:secret x
+func StoreTaint(c *core.Ctx, x int64, dst core.I64, tmp []int64) {
+	tmp[0] = x
+	k := tmp[1]
+	_ = dst.At(c, int(k)) // want `secret-derived index: dst\.At`
+}
+
+// StoreValueIsData: Set's final argument is the stored value, not an
+// address — writing a secret at a public index is exactly what an
+// oblivious kernel does.
+//
+//oblivcheck:secret x
+func StoreValueIsData(c *core.Ctx, x int64, dst core.I64) {
+	dst.Set(c, 0, x)
+}
+
+// SetStoreTaint: the call-form store taints the receiver array, so a
+// later load from it is secret.
+//
+//oblivcheck:secret x
+func SetStoreTaint(c *core.Ctx, x int64, dst core.I64, out core.I64) {
+	dst.Set(c, 0, x)
+	k := int(dst.At(c, 0))
+	out.Set(c, k, 1) // want `secret-derived index: out\.Set`
+}
+
+// SliceKeepsTaint: a sub-array of a secret array stays secret.
+//
+//oblivcheck:secret v
+func SliceKeepsTaint(c *core.Ctx, v core.I64) {
+	half := v.Slice(0, v.N/2)
+	if half.At(c, 0) > 0 { // want `secret-dependent branch`
+		return
+	}
+}
+
+// Select is the sanctioned escape hatch: a register-only compare whose
+// two sides touch no memory cannot move the trace.
+//
+//oblivcheck:secret v
+func Select(c *core.Ctx, v core.I64) int64 {
+	x := v.At(c, 0)
+	y := v.At(c, 1)
+	//oblivcheck:allow dataoblivious: register-only min select, no memory operation on either side
+	if x < y {
+		return x
+	}
+	return y
+}
+
+// BadName names a non-parameter, so a typo cannot silently un-secret an
+// input.
+//
+//oblivcheck:secret w
+func BadName(c *core.Ctx, v core.I64) {} // want `not a parameter of BadName`
+
+// EmptyDirective forgets the parameter list.
+//
+//oblivcheck:secret
+func EmptyDirective(c *core.Ctx, v core.I64) {} // want `empty //oblivcheck:secret directive on EmptyDirective`

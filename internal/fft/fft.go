@@ -8,6 +8,12 @@
 // ω_n = e^{2π√-1/n} (forward transform with negative exponent kernel).
 package fft
 
+// The FFT kernels are data-oblivious: the six-step decomposition and the
+// twiddle/butterfly schedules depend on n only.  Enforced statically by
+// the dataoblivious analyzer, dynamically by `make trace-check`.
+//
+//oblivcheck:dataoblivious
+
 import (
 	"math"
 	"math/cmplx"
@@ -25,6 +31,8 @@ import (
 func SpaceBound(n int) int64 { return 12 * int64(n) }
 
 // MOFFT computes the in-place DFT of x; x.N must be a power of two.
+//
+//oblivcheck:secret x
 func MOFFT(c *core.Ctx, x core.C128) {
 	n := x.N
 	if !bitint.IsPow2(n) {
@@ -106,6 +114,8 @@ func baseDFT(c *core.Ctx, x core.C128) {
 // permutation followed by log n butterfly passes).  Each pass streams the
 // whole array, so it incurs Θ((n/B)·log(n/B)) misses versus MO-FFT's
 // Θ((n/B)·log_C n) — the gap the E5 experiment measures.
+//
+//oblivcheck:secret x
 func Iterative(c *core.Ctx, x core.C128) {
 	n := x.N
 	if !bitint.IsPow2(n) {
@@ -162,6 +172,8 @@ func NaiveDFT(in []complex128) []complex128 {
 // kernel ω_n^{+ij}, scaled by 1/n), via the conjugation identity
 // IDFT(X) = conj(DFT(conj(X)))/n so the forward machinery (and its cache
 // behaviour) is reused unchanged.
+//
+//oblivcheck:secret x
 func Inverse(c *core.Ctx, x core.C128) {
 	n := x.N
 	conj := func() {
@@ -186,6 +198,8 @@ func Inverse(c *core.Ctx, x core.C128) {
 // Convolve computes the circular convolution of a and b into a (both
 // length n, a power of two) with two forward transforms, a pointwise
 // product and one inverse transform.
+//
+//oblivcheck:secret a b
 func Convolve(c *core.Ctx, a, b core.C128) {
 	MOFFT(c, a)
 	MOFFT(c, b)

@@ -7,6 +7,13 @@
 // pivoting, and matrix multiplication.
 package gep
 
+// The GEP evaluators are data-oblivious: the update set Σ_f is tested on
+// indices, never on matrix values, so the access trace depends only on
+// (n, Σ_f).  Enforced statically by the dataoblivious analyzer,
+// dynamically by `make trace-check`.
+//
+//oblivcheck:dataoblivious
+
 import (
 	"math"
 
@@ -79,6 +86,8 @@ func MulAdd() Spec {
 // Reference runs the triple loop of Figure 5: the definitional semantics of
 // a GEP computation, used as the correctness oracle and as the unblocked
 // baseline in the E4 experiment.
+//
+//oblivcheck:secret x
 func Reference(c *core.Ctx, x core.Mat, g Spec) {
 	n := x.Rows
 	for k := 0; k < n; k++ {

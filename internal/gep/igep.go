@@ -26,6 +26,8 @@ type igepCall struct {
 
 // IGEP runs the I-GEP computation 𝒜(x,x,x,x) on the n×n matrix x.
 // n must be a power of two.
+//
+//oblivcheck:secret x
 func IGEP(c *core.Ctx, x core.Mat, g Spec) {
 	r := igepCall{g: g}
 	r.funcA(c, x, x, x, x, x.Rows, 0, 0, 0)
@@ -190,6 +192,8 @@ func quadDiag(w core.Mat) (w11, w22 core.Mat) {
 // MatMul computes C += A·B by invoking I-GEP function 𝒟 with the three
 // disjoint matrices (X=C, U=A, V=B) and the full update set; W is unused by
 // the MulAdd function and is passed as B.  n must be a power of two.
+//
+//oblivcheck:secret C A B
 func MatMul(c *core.Ctx, C, A, B core.Mat) {
 	r := igepCall{g: MulAdd()}
 	n := C.Rows

@@ -31,6 +31,8 @@ func TransitiveClosure() Spec {
 // (see LU): forward substitution with the implicit unit-lower factor, then
 // back substitution with U.  b is overwritten with x.  Runs as a sequence
 // of CGC loops (one per pivot), matching the elimination's data layout.
+//
+//oblivcheck:secret lu b
 func SolveLU(c *core.Ctx, lu core.Mat, b core.F64) {
 	n := lu.Rows
 	// Forward: y[i] = b[i] − Σ_{k<i} L[i,k]·y[k], L[i,k] = lu[i,k]/lu[k,k].

@@ -8,6 +8,8 @@ import "oblivhm/internal/core"
 // capacity.  It exists so the benchmarks can compare the oblivious
 // algorithm against a hand-tuned one; by construction it is not
 // multicore-oblivious.
+//
+//oblivcheck:secret C A B
 func TiledMatMul(c *core.Ctx, C, A, B core.Mat, tile int) {
 	n := C.Rows
 	if tile <= 0 || tile > n {
@@ -34,6 +36,8 @@ func TiledMatMul(c *core.Ctx, C, A, B core.Mat, tile int) {
 }
 
 // NaiveMatMul is the unblocked serial baseline C += A·B.
+//
+//oblivcheck:secret C A B
 func NaiveMatMul(c *core.Ctx, C, A, B core.Mat) {
 	n := C.Rows
 	for i := 0; i < n; i++ {

@@ -54,6 +54,12 @@ type Machine struct {
 	// serial (round, core) order.
 	fan *roundFanIn
 
+	// trace, when non-nil, chains every Load/Store into a rolling digest of
+	// the access stream (tracecap.go) for the data-obliviousness harness.
+	// Orthogonal to the backends above, but only meaningful on the serial
+	// one; StartTrace enforces that.
+	trace *traceCap
+
 	// Steps is advanced by the engine (virtual time); kept here so stats
 	// snapshots carry both time and traffic.
 	Steps int64
@@ -275,6 +281,9 @@ func (m *Machine) Load(core int, a Addr) uint64 {
 	if a < 0 || a >= m.heap {
 		panic(&AddressError{Core: core, Addr: a, Heap: int64(m.heap)})
 	}
+	if t := m.trace; t != nil {
+		t.note(core, a, false)
+	}
 	if f := m.fan; f != nil && f.on {
 		f.record(core, a, false)
 	} else if m.par != nil {
@@ -290,6 +299,9 @@ func (m *Machine) Load(core int, a Addr) uint64 {
 func (m *Machine) Store(core int, a Addr, v uint64) {
 	if a < 0 || a >= m.heap {
 		panic(&AddressError{Core: core, Addr: a, Write: true, Heap: int64(m.heap)})
+	}
+	if t := m.trace; t != nil {
+		t.note(core, a, true)
 	}
 	if f := m.fan; f != nil && f.on {
 		f.record(core, a, true)

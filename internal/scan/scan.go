@@ -9,6 +9,14 @@
 // parallel steps and Θ(n/(q_i·B_i)) cache misses at every level.
 package scan
 
+// The scan kernels are data-oblivious: their access traces depend on the
+// input shape only, never on element values.  The directive below opts the
+// package into the dataoblivious analyzer; //oblivcheck:secret tags on each kernel
+// name the arrays whose *values* are secret.  The runtime cross-check is
+// the trace-equality harness (internal/harness, `make trace-check`).
+//
+//oblivcheck:dataoblivious
+
 import "oblivhm/internal/core"
 
 // Op is an associative binary operation on words.
@@ -28,6 +36,8 @@ func MaxU(a, b uint64) uint64 {
 // InclusiveU64 replaces v[i] with op(v[0], ..., v[i]) in place.
 // scratch must have capacity >= v.N (it is fully overwritten); pass a
 // zero-value U64 to let the scan allocate its own scratch.
+//
+//oblivcheck:secret v scratch
 func InclusiveU64(c *core.Ctx, v core.U64, scratch core.U64, op Op) {
 	if v.N <= 1 {
 		return
@@ -38,6 +48,7 @@ func InclusiveU64(c *core.Ctx, v core.U64, scratch core.U64, op Op) {
 	inclusive(c, v, scratch, op)
 }
 
+//oblivcheck:secret v scratch
 func inclusive(c *core.Ctx, v core.U64, scratch core.U64, op Op) {
 	n := v.N
 	if n <= 4 {
@@ -73,6 +84,8 @@ func inclusive(c *core.Ctx, v core.U64, scratch core.U64, op Op) {
 
 // ExclusiveU64 replaces v[i] with identity ⊕ v[0] ⊕ ... ⊕ v[i-1] in place
 // and returns the total.
+//
+//oblivcheck:secret v scratch
 func ExclusiveU64(c *core.Ctx, v core.U64, scratch core.U64, op Op, identity uint64) uint64 {
 	if v.N == 0 {
 		return identity
@@ -95,17 +108,23 @@ func ExclusiveU64(c *core.Ctx, v core.U64, scratch core.U64, op Op, identity uin
 }
 
 // PrefixSumsI64 is an inclusive in-place integer prefix sum.
+//
+//oblivcheck:secret v
 func PrefixSumsI64(c *core.Ctx, v core.I64) {
 	InclusiveU64(c, core.U64{Base: v.Base, N: v.N}, core.U64{}, AddU)
 }
 
 // ExclusiveSumsI64 is an exclusive in-place integer prefix sum returning
 // the total.
+//
+//oblivcheck:secret v
 func ExclusiveSumsI64(c *core.Ctx, v core.I64) int64 {
 	return int64(ExclusiveU64(c, core.U64{Base: v.Base, N: v.N}, core.U64{}, AddU, 0))
 }
 
 // PrefixSumsF64 is an inclusive in-place float prefix sum.
+//
+//oblivcheck:secret v
 func PrefixSumsF64(c *core.Ctx, v core.F64) {
 	op := func(a, b uint64) uint64 {
 		return f2u(u2f(a) + u2f(b))
@@ -115,6 +134,8 @@ func PrefixSumsF64(c *core.Ctx, v core.F64) {
 
 // ReduceU64 returns v[0] ⊕ ... ⊕ v[n-1] without modifying v, via a CGC
 // loop producing per-segment partials followed by a recursive reduce.
+//
+//oblivcheck:secret v
 func ReduceU64(c *core.Ctx, v core.U64, op Op, identity uint64) uint64 {
 	n := v.N
 	if n == 0 {
@@ -142,6 +163,8 @@ func ReduceU64(c *core.Ctx, v core.U64, op Op, identity uint64) uint64 {
 }
 
 // SumI64 returns the sum of an integer vector.
+//
+//oblivcheck:secret v
 func SumI64(c *core.Ctx, v core.I64) int64 {
 	return int64(ReduceU64(c, core.U64{Base: v.Base, N: v.N}, AddU, 0))
 }

@@ -6,6 +6,13 @@
 // Theorem 1).
 package transpose
 
+// The transpose kernels are data-oblivious: the Morton routing depends on
+// indices only, so the access trace is a function of the matrix shape.
+// The dataoblivious analyzer enforces this statically; the trace-equality
+// harness (`make trace-check`) confirms it at runtime.
+//
+//oblivcheck:dataoblivious
+
 import (
 	"fmt"
 
@@ -22,6 +29,8 @@ func SpaceBound(n int) int64 { return 3 * int64(n) * int64(n) }
 // array I holding A in bit-interleaved (Morton) order.  A and AT must be
 // dense row-major (stride == cols) square matrices with n a power of two;
 // A and AT may not alias.
+//
+//oblivcheck:secret A AT I
 func MOMT(c *core.Ctx, A, AT core.Mat, I core.F64) {
 	n := A.Rows
 	mustSquarePow2(A)
@@ -50,6 +59,8 @@ func MOMT(c *core.Ctx, A, AT core.Mat, I core.F64) {
 // where both are given as flat vectors of complex numbers interpreted as
 // n×n row-major matrices.  The intermediate stores bit-interleaved complex
 // values (two words per element).
+//
+//oblivcheck:secret a at scratch
 func MOMTComplex(c *core.Ctx, a, at core.C128, n int, scratch core.C128) {
 	if a.N < n*n || at.N < n*n {
 		panic("transpose: complex views too small")
@@ -75,6 +86,8 @@ func MOMTComplex(c *core.Ctx, a, at core.C128, n int, scratch core.C128) {
 // Naive is the baseline parallel transpose: a CGC loop over rows of AT
 // reading columns of A.  Column-order reads destroy spatial locality, so it
 // incurs Θ(n²) misses once n exceeds the cache size (vs MO-MT's n²/B).
+//
+//oblivcheck:secret A AT
 func Naive(c *core.Ctx, A, AT core.Mat) {
 	n := A.Rows
 	c.PFor(n, n, func(cc *core.Ctx, lo, hi int) {
@@ -90,6 +103,8 @@ func Naive(c *core.Ctx, A, AT core.Mat) {
 // matrix into quadrants and recurse, swapping the off-diagonal quadrants.
 // Scheduled with SB (space bound 2m² per subproblem).  Its critical path is
 // Θ(log n), which is why the paper prefers the constant-depth MO-MT.
+//
+//oblivcheck:secret A AT
 func Recursive(c *core.Ctx, A, AT core.Mat) {
 	n := A.Rows
 	if n <= 8 {
@@ -123,6 +138,8 @@ func mustSquarePow2(m core.Mat) {
 // the larger dimension in half and recurse.  It is the workhorse behind the
 // sorting algorithm's count-matrix reshapes, where r and cols are arbitrary
 // (not powers of two).
+//
+//oblivcheck:secret src dst
 func RectWords(c *core.Ctx, src, dst core.U64, r, cols int) {
 	rectWords(c, src, dst, 0, 0, r, cols, r, cols)
 }
